@@ -1,0 +1,72 @@
+"""Benchmark harness configuration.
+
+Every ``test_figXX_*`` benchmark regenerates one paper figure at the
+``small`` scale (override with ``REPRO_BENCH_SCALE=medium|paper``), asserts
+the paper's qualitative *shape* (who wins, the ordering, the trend), and
+writes the measured series to ``benchmarks/results/<fig>.txt`` — the same
+rows the paper reports, for EXPERIMENTS.md.
+
+Figure regeneration is the measured operation (rounds=1: a sweep is
+seconds of work and deterministic; timing variance across rounds is pure
+repetition cost).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.exp.configs import SCALES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    _write_manifest(RESULTS_DIR)
+    return RESULTS_DIR
+
+
+def _write_manifest(results_dir: Path) -> None:
+    """Record what produced the result files (reproducibility manifest)."""
+    import json
+    import platform
+    import sys
+
+    import numpy
+
+    import repro
+
+    manifest = {
+        "repro_version": repro.__version__,
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "small"),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+    (results_dir / "manifest.json").write_text(json.dumps(manifest, indent=1))
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Writer: record_table("fig6", text) → benchmarks/results/fig6.txt."""
+
+    def write(figure_id: str, text: str) -> None:
+        (results_dir / f"{figure_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic multi-second operation exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation — Alg. 1's wait interval T (arrival batching).
+
+The paper's Alg. 1 line 7 waits a time T to gather concurrent flows
+before scheduling.  Batching buys admission-order freedom (urgent tasks
+in the same window are admitted first) at the price of start latency on
+every task.  This bench sweeps T against the deadline budget: at the
+paper's workloads (flows of a task arrive together, tasks are Poisson)
+the freedom is worth little and the latency costs — supporting the
+reproduction's default of T = 0.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.controller import TapsScheduler
+from repro.metrics.summary import summarize
+from repro.net.paths import PathService
+from repro.sim.engine import Engine
+from repro.workload.generator import generate_workload
+
+WINDOWS = (0.0, 1e-3, 5e-3, 20e-3)
+
+
+def test_ablation_batch_window(benchmark, bench_scale, record_table):
+    topo = bench_scale.single_rooted()
+    paths = PathService(topo, max_paths=bench_scale.max_paths)
+    cfg = bench_scale.workload_config(seed=67)
+    tasks = generate_workload(cfg, list(topo.hosts))
+
+    def run_all():
+        out = {}
+        for w in WINDOWS:
+            sched = TapsScheduler(batch_window=w)
+            m = summarize(Engine(topo, tasks, sched, path_service=paths).run())
+            out[w] = m.task_completion_ratio
+        return out
+
+    ratios = run_once(benchmark, run_all)
+
+    lines = ["batch window (Alg.1 wait-T) ablation: T  task_ratio"]
+    for w, r in ratios.items():
+        lines.append(f"  {w * 1e3:5.1f}ms  {r:.3f}")
+    record_table("ablation_batching", "\n".join(lines))
+
+    vals = list(ratios.values())
+    # immediate admission is never worse than a window that eats half the
+    # 40 ms deadline budget
+    assert vals[0] >= vals[-1] - 1e-9
+    # a tiny window (2.5% of the deadline) costs little
+    assert vals[1] >= vals[0] - 0.15

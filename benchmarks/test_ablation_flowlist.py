@@ -1,0 +1,46 @@
+"""Ablation — PDQ's per-switch flow-list capacity (the Fig. 3 mechanism).
+
+The paper's Fig. 3 PDQ walk-through hinges on a full flow list at a
+switch.  This bench sweeps the list capacity and measures how PDQ's flow
+completion recovers as switch state grows — the cost of PDQ's
+limited-switch-memory design that centralized TAPS does not pay.
+"""
+
+from benchmarks.conftest import run_once
+from repro.metrics.summary import summarize
+from repro.net.paths import PathService
+from repro.sched.pdq import PDQ
+from repro.sim.engine import Engine
+from repro.workload.generator import generate_workload
+
+
+def test_ablation_pdq_flow_list(benchmark, bench_scale, record_table):
+    topo = bench_scale.single_rooted()
+    paths = PathService(topo, max_paths=bench_scale.max_paths)
+    cfg = bench_scale.workload_config(seed=59)
+    tasks = generate_workload(cfg, list(topo.hosts))
+
+    limits = (1, 2, 4, 8, None)
+
+    def run_all():
+        out = {}
+        for limit in limits:
+            m = summarize(
+                Engine(topo, tasks, PDQ(flow_list_limit=limit),
+                       path_service=paths).run()
+            )
+            out[limit] = m.flow_completion_ratio
+        return out
+
+    ratios = run_once(benchmark, run_all)
+
+    lines = ["PDQ flow-list ablation: limit  flow_ratio"]
+    for limit, ratio in ratios.items():
+        lines.append(f"  {str(limit):>5s}  {ratio:.3f}")
+    record_table("ablation_flowlist", "\n".join(lines))
+
+    vals = list(ratios.values())
+    # completion is (weakly) monotone in switch memory, and the unbounded
+    # list is the best configuration
+    assert vals[-1] == max(vals)
+    assert vals[0] <= vals[-1]

@@ -1,0 +1,40 @@
+"""Ablation — multipath routing in TAPS (DESIGN.md: "near-optimal routing").
+
+On a fat-tree, restricting TAPS to a single candidate path (ECMP-like)
+must not beat the full candidate search; the gap is the value of Alg. 2's
+best-path selection.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.controller import TapsScheduler
+from repro.metrics.summary import summarize
+from repro.net.paths import PathService
+from repro.sim.engine import Engine
+from repro.workload.generator import generate_workload
+
+
+def test_ablation_multipath(benchmark, bench_scale, record_table):
+    topo = bench_scale.fat_tree()
+    cfg = bench_scale.workload_config(seed=23)
+    tasks = generate_workload(cfg, list(topo.hosts))
+
+    def run_both():
+        out = {}
+        for label, max_paths in (("single-path", 1), ("multipath", bench_scale.max_paths)):
+            paths = PathService(topo, max_paths=max_paths)
+            result = Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
+            out[label] = summarize(result)
+        return out
+
+    results = run_once(benchmark, run_both)
+
+    lines = ["ablation: TAPS routing  task_ratio  flow_ratio"]
+    for label, m in results.items():
+        lines.append(
+            f"  {label:12s} {m.task_completion_ratio:.3f}"
+            f"  {m.flow_completion_ratio:.3f}"
+        )
+    record_table("ablation_multipath", "\n".join(lines))
+
+    assert results["multipath"].task_completion_ratio >= \
+        results["single-path"].task_completion_ratio - 1e-9

@@ -1,0 +1,86 @@
+"""Ablation — TAPS' distance from the offline EDF-packing optimum.
+
+The paper asserts near-optimality without measuring it; here small random
+instances are solved exactly (offline branch-and-bound over task subsets)
+and compared with TAPS' online result.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.controller import TapsScheduler
+from repro.core.optimal import offline_best_subset
+from repro.net.paths import PathService
+from repro.sim.engine import Engine
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.traces import dumbbell
+
+
+def test_ablation_optimality_gap(benchmark, record_table):
+    topo = dumbbell(6)
+    paths = PathService(topo)
+
+    def run_instances():
+        rows = []
+        for seed in range(8):
+            cfg = WorkloadConfig(
+                num_tasks=9, mean_flows_per_task=2, arrival_rate=2.0,
+                mean_flow_size=1.0, min_flow_size=0.2,
+                mean_deadline=2.5, seed=seed,
+            )
+            tasks = generate_workload(cfg, list(topo.hosts))
+            bound = offline_best_subset(tasks, paths, 1.0)
+            result = Engine(topo, tasks, TapsScheduler(),
+                            path_service=paths).run()
+            rows.append((seed, result.tasks_completed, bound.best_count))
+        return rows
+
+    rows = run_once(benchmark, run_instances)
+
+    lines = ["optimality gap: seed  TAPS(online)  offline-bound  gap"]
+    total_gap = 0
+    for seed, taps, bound in rows:
+        gap = bound - taps
+        total_gap += gap
+        lines.append(f"  {seed}  {taps}  {bound}  {gap}")
+        # online never beats the offline evaluator; and is never far off
+        assert taps <= bound
+        assert gap <= 2, f"seed {seed}: gap {gap} too large"
+    lines.append(f"  mean gap: {total_gap / len(rows):.2f} tasks")
+    record_table("ablation_optimality", "\n".join(lines))
+    assert total_gap / len(rows) <= 1.0
+
+
+def test_ablation_control_latency(benchmark, record_table):
+    """How much controller RTT TAPS tolerates before admission collapses —
+    the paper's "online response" design goal, quantified.  Latencies are
+    fractions of the 40 ms mean deadline."""
+    from repro.exp.configs import SMALL
+    from repro.metrics.summary import summarize
+
+    topo = SMALL.single_rooted()
+    paths = PathService(topo, max_paths=SMALL.max_paths)
+    cfg = SMALL.workload_config(seed=29)
+    tasks = generate_workload(cfg, list(topo.hosts))
+
+    latencies = (0.0, 1e-3, 5e-3, 10e-3)
+
+    def run_all():
+        out = {}
+        for lat in latencies:
+            sched = TapsScheduler(control_latency=lat)
+            m = summarize(Engine(topo, tasks, sched, path_service=paths).run())
+            out[lat] = m.task_completion_ratio
+        return out
+
+    ratios = run_once(benchmark, run_all)
+    lines = ["control latency ablation: rtt  task_ratio"]
+    for lat, ratio in ratios.items():
+        lines.append(f"  {lat * 1e3:4.1f}ms  {ratio:.3f}")
+    record_table("ablation_latency", "\n".join(lines))
+
+    # completion degrades monotonically (within noise) with latency
+    vals = list(ratios.values())
+    assert vals[0] >= vals[-1]
+    # at 1 ms RTT (2.5% of the mean deadline) the drop stays moderate;
+    # by 10 ms (25% of the deadline budget) it is substantial
+    assert vals[1] >= vals[0] - 0.15
+    assert vals[-1] <= vals[0]

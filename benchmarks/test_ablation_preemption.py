@@ -1,0 +1,53 @@
+"""Ablation — the reject rule's case-3 comparison (DESIGN.md §2 knob).
+
+The paper's "completion ratio" comparison is ambiguous for a newcomer that
+has sent nothing; this bench measures all three readings on the same
+workload:
+
+* PROGRESS (literal): incumbents never preempted once transmitting;
+* PROSPECTIVE: victims with missing flows always preempted;
+* NEVER: plain admission control (Varys-style, but with reallocation).
+
+Expectation: PROSPECTIVE ≥ PROGRESS ≥ NEVER on task completion (extra
+freedom never hurts the count), and only PROSPECTIVE produces waste.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.controller import TapsScheduler
+from repro.core.reject import PreemptionPolicy
+from repro.metrics.summary import summarize
+from repro.net.paths import PathService
+from repro.sim.engine import Engine
+from repro.workload.generator import generate_workload
+
+
+def test_ablation_preemption_policy(benchmark, bench_scale, record_table):
+    topo = bench_scale.single_rooted()
+    paths = PathService(topo, max_paths=bench_scale.max_paths)
+    cfg = bench_scale.workload_config(seed=17)
+    tasks = generate_workload(cfg, list(topo.hosts))
+
+    def run_all():
+        out = {}
+        for policy in PreemptionPolicy:
+            sched = TapsScheduler(preemption=policy)
+            result = Engine(topo, tasks, sched, path_service=paths).run()
+            out[policy.value] = (summarize(result), sched.stats)
+        return out
+
+    results = run_once(benchmark, run_all)
+
+    lines = ["ablation: preemption policy  task_ratio  waste  preempted"]
+    for policy, (m, stats) in results.items():
+        lines.append(
+            f"  {policy:12s} {m.task_completion_ratio:.3f}"
+            f"  {m.wasted_bandwidth_ratio:.4f}  {stats.tasks_preempted}"
+        )
+    record_table("ablation_preemption", "\n".join(lines))
+
+    progress = results["progress"][0].task_completion_ratio
+    never = results["never"][0].task_completion_ratio
+    assert progress >= never - 1e-9
+    # only prospective preemption can create waste
+    assert results["progress"][0].wasted_bandwidth_ratio <= 1e-9
+    assert results["never"][0].wasted_bandwidth_ratio <= 1e-9

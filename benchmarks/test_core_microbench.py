@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the hot paths (per the HPC guide: measure first).
+
+These are the operations the controller performs per task arrival:
+interval union/complement/fit, full path calculation over Ftmp, and one
+complete engine run — giving a cost model for scaling to the paper sizes.
+"""
+
+import numpy as np
+
+from repro.core.allocation import path_calculation
+from repro.core.occupancy import OccupancyLedger
+from repro.net.paths import PathService
+from repro.net.fattree import FatTree
+from repro.sim.engine import Engine
+from repro.sim.state import FlowState
+from repro.util.intervals import IntervalSet, union_all
+from repro.workload.flow import Flow
+from repro.workload.generator import generate_workload
+
+
+def _dense_set(n, rng):
+    s = IntervalSet()
+    t = 0.0
+    for _ in range(n):
+        t += rng.uniform(0.1, 1.0)
+        s.add(t, t + rng.uniform(0.05, 0.5))
+        t += 0.6
+    return s
+
+
+def test_bench_interval_union(benchmark):
+    rng = np.random.default_rng(1)
+    sets = [_dense_set(50, rng) for _ in range(6)]
+    out = benchmark(lambda: union_all(sets))
+    assert out.measure() > 0
+
+
+def test_bench_interval_complement_and_fit(benchmark):
+    rng = np.random.default_rng(2)
+    occ = _dense_set(100, rng)
+
+    def work():
+        idle = occ.complement(0.0, occ.end() + 100.0)
+        return idle.first_fit(5.0, after=1.0)
+
+    slices = benchmark(work)
+    assert abs(slices.measure() - 5.0) < 1e-6
+
+
+def test_bench_path_calculation_200_flows(benchmark):
+    topo = FatTree(k=4)
+    paths = PathService(topo, max_paths=4)
+    hosts = list(topo.hosts)
+    rng = np.random.default_rng(3)
+    flows = []
+    for i in range(200):
+        src, dst = rng.choice(len(hosts), size=2, replace=False)
+        f = Flow(flow_id=i, task_id=i, src=hosts[src], dst=hosts[dst],
+                 size=float(rng.uniform(1e4, 4e5)), release=0.0,
+                 deadline=float(rng.uniform(0.01, 0.1)))
+        flows.append(FlowState(flow=f))
+
+    cap = topo.uniform_capacity()
+
+    def work():
+        for fs in flows:
+            fs.remaining = fs.flow.size
+        return path_calculation(flows, OccupancyLedger(), paths, cap, 0.0, 10.0)
+
+    plans = benchmark(work)
+    assert len(plans) == 200
+
+
+def test_bench_full_engine_run(benchmark, bench_scale):
+    from repro.core.controller import TapsScheduler
+
+    topo = bench_scale.single_rooted()
+    cfg = bench_scale.workload_config(seed=31)
+    tasks = generate_workload(cfg, list(topo.hosts))
+    paths = PathService(topo, max_paths=bench_scale.max_paths)
+
+    def work():
+        return Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
+
+    result = benchmark.pedantic(work, rounds=3, iterations=1)
+    assert result.counters.completions > 0

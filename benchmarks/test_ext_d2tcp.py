@@ -1,0 +1,52 @@
+"""Extension — the §II-discussed D2TCP baseline in the Fig. 6 sweep.
+
+The TAPS paper discusses D2TCP but does not plot it; this bench adds the
+fluid D2TCP to the deadline sweep and checks the §II narrative: a
+flow-level deadline-aware transport lands in the Fair-Sharing band on
+*task* completion (it "cannot minimize the deadline-missing tasks"),
+while TAPS stays on top.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.exp.sweep import run_sweep
+from repro.exp.report import render_sweep
+from repro.sched.registry import EXTENDED_ORDER
+from repro.workload.generator import generate_workload
+
+
+def test_ext_d2tcp_deadline_sweep(benchmark, bench_scale, record_table):
+    from repro.util.units import ms
+
+    holder = {}
+
+    def topo():
+        return holder.setdefault("t", bench_scale.single_rooted())
+
+    def workload(deadline, seed):
+        cfg = bench_scale.workload_config(mean_deadline=deadline, seed=seed)
+        return generate_workload(cfg, list(topo().hosts))
+
+    sweep = run_once(benchmark, lambda: run_sweep(
+        topo, workload,
+        param_name="mean_deadline",
+        param_values=[x * ms for x in (20, 30, 40, 50, 60)],
+        schedulers=EXTENDED_ORDER,
+        seeds=bench_scale.seeds,
+        max_paths=bench_scale.max_paths,
+    ))
+    record_table(
+        "ext_d2tcp",
+        render_sweep(sweep, "task_completion_ratio",
+                     title=f"extension: D2TCP in the deadline sweep "
+                           f"({bench_scale.name} scale)"),
+    )
+
+    task = {s: np.mean(sweep.series[s]["task_completion_ratio"])
+            for s in sweep.schedulers}
+    # §II narrative: flow-level deadline awareness ≈ fair-sharing band on
+    # task completion; the task-aware admission schedulers clear it
+    assert abs(task["D2TCP"] - task["Fair Sharing"]) < 0.2
+    assert task["TAPS"] > task["D2TCP"]
+    assert task["TAPS"] == max(task.values())

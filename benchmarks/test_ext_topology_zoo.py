@@ -1,0 +1,67 @@
+"""Extension — TAPS across the architectures the paper cites (§II).
+
+"Applicability to general data center network topologies" is a TAPS
+design goal; the paper evaluates two (single-rooted tree, fat-tree).
+This bench runs the same relative load on all four cited families —
+tree, fat-tree, BCube, FiConn — and checks that the multipath families
+beat the single-path tree at equal per-host load.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.controller import TapsScheduler
+from repro.metrics.summary import summarize
+from repro.net.bcube import BCube
+from repro.net.fattree import FatTree
+from repro.net.ficonn import FiConn
+from repro.net.paths import PathService
+from repro.net.trees import SingleRootedTree
+from repro.sim.engine import Engine
+from repro.workload.generator import generate_workload
+
+
+def test_ext_topology_zoo(benchmark, bench_scale, record_table):
+    topologies = {
+        "single-rooted": SingleRootedTree(2, 2, 4),  # 16 hosts, 1 path
+        "fat-tree k=4": FatTree(4),                  # 16 hosts, ≤4 paths
+        "bcube n=4 k=1": BCube(4, 1),                # 16 hosts, ≤2 paths
+        "ficonn n=4 k=1": FiConn(4, 1),              # 12 hosts
+    }
+
+    def run_all():
+        out = {}
+        for label, topo in topologies.items():
+            hosts = list(topo.hosts)
+            cfg = bench_scale.workload_config(
+                # equal offered load per host across different host counts
+                num_tasks=2 * len(hosts),
+                mean_flows_per_task=4,
+                seed=41,
+            )
+            tasks = generate_workload(cfg, hosts)
+            paths = PathService(topo, max_paths=bench_scale.max_paths)
+            m = summarize(
+                Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
+            )
+            out[label] = m
+        return out
+
+    results = run_once(benchmark, run_all)
+
+    lines = ["topology zoo: TAPS on the paper's cited architectures",
+             "  topology        hosts  task_ratio  flow_ratio  waste"]
+    for label, m in results.items():
+        hosts = len(topologies[label].hosts)
+        lines.append(
+            f"  {label:15s} {hosts:>4d}  {m.task_completion_ratio:.3f}"
+            f"       {m.flow_completion_ratio:.3f}      "
+            f"{m.wasted_bandwidth_ratio:.3f}"
+        )
+    record_table("ext_topology_zoo", "\n".join(lines))
+
+    # multipath fabrics beat the oversubscribed single-rooted tree
+    tree = results["single-rooted"].task_completion_ratio
+    assert results["fat-tree k=4"].task_completion_ratio >= tree
+    assert results["bcube n=4 k=1"].task_completion_ratio >= tree
+    # admission keeps waste at zero everywhere
+    for m in results.values():
+        assert m.wasted_bandwidth_ratio <= 1e-9

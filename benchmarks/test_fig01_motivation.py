@@ -1,0 +1,21 @@
+"""Paper Fig. 1 — task-level vs flow-level scheduling (worked example).
+
+Regenerates the four schedules of Fig. 1(b)–(e) and asserts the published
+completions exactly: Fair Sharing 1 flow / 0 tasks, D3 1 / 0, PDQ 2 / 0,
+task-aware (TAPS) 2 / 1.
+"""
+
+from benchmarks.conftest import run_once
+from repro.exp.motivation import run_fig1
+
+
+def test_fig1_motivation(benchmark, record_table):
+    outcomes = run_once(benchmark, run_fig1)
+    lines = ["fig1: scheduler  flows_met  tasks_completed  (paper)"]
+    for o in outcomes:
+        lines.append(
+            f"  {o.scheduler:14s} {o.flows_met}  {o.tasks_completed}"
+            f"  ({o.paper_flows}/{o.paper_tasks})"
+        )
+        assert o.matches_paper, o
+    record_table("fig1", "\n".join(lines))

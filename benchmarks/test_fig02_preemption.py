@@ -1,0 +1,20 @@
+"""Paper Fig. 2 — existing task-level scheduling vs TAPS (worked example).
+
+Asserts the published outcome: Varys admits only the first-arrived task
+(1 task), Baraat fails the urgent task, TAPS completes both.
+"""
+
+from benchmarks.conftest import run_once
+from repro.exp.motivation import run_fig2
+
+
+def test_fig2_preemption(benchmark, record_table):
+    outcomes = run_once(benchmark, run_fig2)
+    by_name = {o.scheduler: o for o in outcomes}
+    assert by_name["TAPS"].tasks_completed == 2
+    assert by_name["Varys"].tasks_completed == 1
+    assert by_name["Baraat"].tasks_completed <= 1
+    lines = ["fig2: scheduler  flows_met  tasks_completed"]
+    for o in outcomes:
+        lines.append(f"  {o.scheduler:14s} {o.flows_met}  {o.tasks_completed}")
+    record_table("fig2", "\n".join(lines))

@@ -1,0 +1,20 @@
+"""Paper Fig. 3 — global scheduling vs PDQ (worked example).
+
+Asserts the published outcome on the 4-host/5-switch topology: PDQ (flow
+list full at its switches) completes 3 of 4 flows; TAPS' global multipath
+schedule completes all 4, giving f4 the split (0,1) ∪ (2,3).
+"""
+
+from benchmarks.conftest import run_once
+from repro.exp.motivation import run_fig3
+
+
+def test_fig3_global_scheduling(benchmark, record_table):
+    outcomes = run_once(benchmark, run_fig3)
+    by_name = {o.scheduler: o for o in outcomes}
+    assert by_name["PDQ"].flows_met == 3
+    assert by_name["TAPS"].flows_met == 4
+    lines = ["fig3: scheduler  flows_met (of 4)"]
+    for o in outcomes:
+        lines.append(f"  {o.scheduler:14s} {o.flows_met}")
+    record_table("fig3", "\n".join(lines))

@@ -1,0 +1,45 @@
+"""Paper Fig. 6 — application throughput & task completion ratio vs mean
+deadline (20–60 ms), single-rooted tree.
+
+Shape assertions (paper §V-B):
+* every algorithm improves as deadlines relax;
+* TAPS leads task completion ratio at (almost) every point;
+* the deadline/task-agnostic pair (Fair Sharing, Baraat) trails the field.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.exp.figures import run_figure
+from repro.exp.report import render_sweep
+
+
+def test_fig6_deadline_sweep(benchmark, bench_scale, record_table):
+    run = run_once(benchmark, lambda: run_figure("fig6", bench_scale))
+    sweep = run.sweep
+
+    text = "\n\n".join(
+        render_sweep(sweep, m, title=f"fig6 ({bench_scale.name} scale)")
+        for m in ("application_throughput", "task_completion_ratio")
+    )
+    record_table("fig6", text)
+
+    task = {s: np.array(sweep.series[s]["task_completion_ratio"])
+            for s in sweep.schedulers}
+
+    # rising trend for everyone
+    for s, series in task.items():
+        assert series[-1] >= series[0] - 0.1, f"{s} does not improve"
+
+    # TAPS leads on average and at nearly every sweep point
+    taps = task["TAPS"]
+    for other, series in task.items():
+        if other == "TAPS":
+            continue
+        assert taps.mean() >= series.mean(), f"TAPS mean below {other}"
+        assert (taps + 1e-9 >= series - 0.101).all(), f"TAPS far below {other}"
+
+    # agnostic schedulers trail: bottom-2 mean ranks include Fair Sharing
+    means = {s: v.mean() for s, v in task.items()}
+    bottom_two = sorted(means, key=means.get)[:2]
+    assert "Fair Sharing" in bottom_two or "Baraat" in bottom_two

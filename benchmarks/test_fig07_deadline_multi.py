@@ -1,0 +1,29 @@
+"""Paper Fig. 7 — task completion ratio vs mean deadline on the
+multi-rooted fat-tree (baselines extended with flow-level ECMP, §V-A).
+
+Shapes: same ordering as Fig. 6 — TAPS on top — with rising curves.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.exp.figures import run_figure
+from repro.exp.report import render_sweep
+
+
+def test_fig7_multirooted(benchmark, bench_scale, record_table):
+    run = run_once(benchmark, lambda: run_figure("fig7", bench_scale))
+    sweep = run.sweep
+    record_table(
+        "fig7",
+        render_sweep(sweep, "task_completion_ratio",
+                     title=f"fig7 fat-tree ({bench_scale.name} scale)"),
+    )
+
+    task = {s: np.array(sweep.series[s]["task_completion_ratio"])
+            for s in sweep.schedulers}
+    taps = task["TAPS"]
+    for other, series in task.items():
+        assert taps.mean() >= series.mean() - 1e-9, f"TAPS below {other}"
+    for s, series in task.items():
+        assert series[-1] >= series[0] - 0.1, f"{s} does not improve"

@@ -1,0 +1,35 @@
+"""Paper Fig. 9 — application throughput & task completion ratio vs mean
+flow size (60–300 KB), single-rooted tree.
+
+Shapes: completion degrades as flows grow; TAPS stays on top throughout
+("the other algorithms can hardly complete tasks when flow size is large,
+while TAPS achieves higher completion ratio").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.exp.figures import run_figure
+from repro.exp.report import render_sweep
+
+
+def test_fig9_flow_size_sweep(benchmark, bench_scale, record_table):
+    run = run_once(benchmark, lambda: run_figure("fig9", bench_scale))
+    sweep = run.sweep
+    text = "\n\n".join(
+        render_sweep(sweep, m, title=f"fig9 ({bench_scale.name} scale)")
+        for m in ("application_throughput", "task_completion_ratio")
+    )
+    record_table("fig9", text)
+
+    task = {s: np.array(sweep.series[s]["task_completion_ratio"])
+            for s in sweep.schedulers}
+    # falling trend as sizes grow
+    for s, series in task.items():
+        assert series[0] >= series[-1] - 0.1, f"{s} should degrade with size"
+    # TAPS on top, and its margin persists at the large-size end
+    taps = task["TAPS"]
+    for other, series in task.items():
+        if other != "TAPS":
+            assert taps.mean() >= series.mean() - 1e-9
+            assert taps[-3:].mean() >= series[-3:].mean() - 1e-9

@@ -1,0 +1,30 @@
+"""Paper Fig. 11 — task completion ratio vs flows per task (task diffusion).
+
+Shapes: more flows per task → lower completion for everyone; TAPS
+degrades slowest ("the awareness of task plays the most important role").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.exp.figures import run_figure
+from repro.exp.report import render_sweep
+
+
+def test_fig11_flows_per_task(benchmark, bench_scale, record_table):
+    run = run_once(benchmark, lambda: run_figure("fig11", bench_scale))
+    sweep = run.sweep
+    record_table(
+        "fig11",
+        render_sweep(sweep, "task_completion_ratio",
+                     title=f"fig11 flows/task ({bench_scale.name} scale)\n"
+                           f"(x rescaled from the paper's 400…2000)"),
+    )
+
+    task = {s: np.array(sweep.series[s]["task_completion_ratio"])
+            for s in sweep.schedulers}
+    for s, series in task.items():
+        assert series[0] >= series[-1] - 0.1, f"{s} should fall with diffusion"
+    taps = task["TAPS"]
+    for other, series in task.items():
+        assert taps.mean() >= series.mean() - 1e-9, f"TAPS below {other}"

@@ -1,0 +1,28 @@
+"""Paper Fig. 12 — task completion ratio vs task count (30–270).
+
+Shapes: more concurrent tasks → lower completion; TAPS leads throughout.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.exp.figures import run_figure
+from repro.exp.report import render_sweep
+
+
+def test_fig12_task_count(benchmark, bench_scale, record_table):
+    run = run_once(benchmark, lambda: run_figure("fig12", bench_scale))
+    sweep = run.sweep
+    record_table(
+        "fig12",
+        render_sweep(sweep, "task_completion_ratio",
+                     title=f"fig12 task count ({bench_scale.name} scale)"),
+    )
+
+    task = {s: np.array(sweep.series[s]["task_completion_ratio"])
+            for s in sweep.schedulers}
+    for s, series in task.items():
+        assert series[0] >= series[-1] - 0.1, f"{s} should fall with load"
+    taps = task["TAPS"]
+    for other, series in task.items():
+        assert taps.mean() >= series.mean() - 1e-9, f"TAPS below {other}"

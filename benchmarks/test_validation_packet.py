@@ -1,0 +1,58 @@
+"""Validation — fluid vs packet-granularity completion times.
+
+The whole evaluation rides on the fluid abstraction; this bench
+packetises a mixed workload (store-and-forward, one packet per link per
+slot, fair round-robin) and reports the completion-time error against
+the fluid engine.  Expected: mean |Δ| within a few packet times.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.net.paths import PathService
+from repro.sched.fair import FairSharing
+from repro.sim.engine import Engine
+from repro.sim.packet import PacketSimulator
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell
+
+DT = 0.01
+
+
+def test_validation_fluid_vs_packet(benchmark, record_table):
+    topo = dumbbell(4)
+    tasks = []
+    fid = 0
+    rng_sizes = [1.0, 2.0, 0.7, 1.5, 0.4, 2.4, 1.1, 0.9]
+    for i, size in enumerate(rng_sizes):
+        pair = i % 4
+        tasks.append(make_task(i, 0.3 * i, 99.0 + 0.3 * i,
+                               [(f"L{pair}", f"R{pair}", size)], fid))
+        fid += 1
+
+    def run_both():
+        fluid = Engine(dumbbell(4), tasks, FairSharing()).run()
+        fluid_t = {fs.flow.flow_id: fs.completed_at
+                   for fs in fluid.flow_states}
+        sim = PacketSimulator(topo, dt=DT)
+        sim.add_tasks(tasks, PathService(topo))
+        packet_t = {fid: r.completed_at for fid, r in sim.run().items()}
+        return fluid_t, packet_t
+
+    fluid_t, packet_t = run_once(benchmark, run_both)
+
+    deltas = np.array([
+        packet_t[fid] - fluid_t[fid] for fid in fluid_t
+    ])
+    lines = ["fluid vs packet completion times (Fair Sharing, dumbbell):",
+             "  flow  fluid  packet  delta"]
+    for fid in sorted(fluid_t):
+        lines.append(f"  {fid}  {fluid_t[fid]:.3f}  {packet_t[fid]:.3f}"
+                     f"  {packet_t[fid] - fluid_t[fid]:+.3f}")
+    lines.append(f"  mean |delta| = {np.abs(deltas).mean():.4f} "
+                 f"(packet time dt = {DT})")
+    record_table("validation_packet", "\n".join(lines))
+
+    # fluid abstraction is faithful to within a handful of packet times
+    assert np.abs(deltas).mean() <= 10 * DT
+    assert np.abs(deltas).max() <= 30 * DT

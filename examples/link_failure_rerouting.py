@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Link failures: the SDN controller reroutes, everyone else stalls.
+
+Injects core-link outages on a k=4 fat-tree mid-run and compares TAPS —
+whose controller globally reallocates flows around the outage picture —
+with PDQ and Fair Sharing, whose affected flows simply stop until the
+link returns.
+
+Run:  python examples/link_failure_rerouting.py
+"""
+
+import numpy as np
+
+from repro import Engine, FatTree, LinkFault, PathService, summarize
+from repro.sched.registry import make_scheduler
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+
+def main() -> None:
+    topology = FatTree(4)
+    paths = PathService(topology, max_paths=8)
+    cfg = WorkloadConfig(num_tasks=40, mean_flows_per_task=6,
+                         arrival_rate=300, seed=47)
+    tasks = generate_workload(cfg, list(topology.hosts))
+    horizon = max(t.deadline for t in tasks)
+
+    # fail 8 random switch-to-switch links during the run
+    rng = np.random.default_rng(7)
+    switch_set = set(topology.switches)
+    fabric_links = [l.index for l in topology.links
+                    if l.src in switch_set and l.dst in switch_set]
+    faults = []
+    for i in rng.choice(len(fabric_links), size=8, replace=False):
+        start = float(rng.uniform(0, horizon * 0.7))
+        faults.append(LinkFault(fabric_links[i], start,
+                                start + float(rng.exponential(horizon / 3))))
+    print(f"{len(faults)} core-link outages injected "
+          f"(run horizon {horizon * 1e3:.0f} ms)\n")
+
+    print(f"{'scheduler':14s} {'clean':>7s} {'faulty':>7s} {'drop':>7s}")
+    for name in ("Fair Sharing", "PDQ", "TAPS"):
+        clean = summarize(Engine(topology, tasks, make_scheduler(name),
+                                 path_service=paths).run())
+        faulty = summarize(Engine(topology, tasks, make_scheduler(name),
+                                  path_service=paths, faults=faults).run())
+        drop = clean.task_completion_ratio - faulty.task_completion_ratio
+        print(f"{name:14s} {clean.task_completion_ratio:>7.2%} "
+              f"{faulty.task_completion_ratio:>7.2%} {drop:>+7.2%}")
+
+    print(
+        "\nTAPS' controller reallocates every in-flight flow against the "
+        "current outage\npicture (and drops tasks an outage has doomed, "
+        "rather than wasting bytes on\nthem); oblivious schedulers stall "
+        "through each outage and eat the misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Web-search incast: the partition/aggregate workload of the paper's §II.
+
+"For web search works, each task contains at least 88 flows" — every
+worker's partial result must reach the aggregator before the SLA deadline
+or the whole response is useless.  This example builds that workload
+(fan-out scaled to the 36-host tree), runs all six schedulers plus the
+D2TCP extension, and shows why task-level admission wins when every flow
+of a task funnels into one access link.
+
+Run:  python examples/websearch_incast.py
+"""
+
+from repro import Engine, PathService, SingleRootedTree, summarize
+from repro.sched.registry import EXTENDED_ORDER, make_scheduler
+from repro.workload.patterns import websearch_workload
+
+
+def main() -> None:
+    from repro.util.units import KB, ms
+
+    topology = SingleRootedTree(servers_per_rack=4, racks_per_pod=3, pods=3)
+    tasks = websearch_workload(
+        list(topology.hosts),
+        num_tasks=30,
+        fanout_scale=0.1,   # ~9–12 workers per aggregation on 36 hosts
+        mean_flow_size=150 * KB,
+        mean_deadline=30 * ms,
+        seed=11,
+    )
+    flows = sum(t.num_flows for t in tasks)
+    fanouts = sorted(t.num_flows for t in tasks)
+    print(f"workload: {len(tasks)} aggregations, {flows} flows "
+          f"(fan-out {fanouts[0]}–{fanouts[-1]}), all flows of a task "
+          f"converge on one aggregator\n")
+
+    paths = PathService(topology)
+    print(f"{'scheduler':14s} {'tasks done':>10s} {'flows done':>10s} "
+          f"{'wasted':>7s}")
+    results = {}
+    for name in EXTENDED_ORDER:
+        metrics = summarize(
+            Engine(topology, tasks, make_scheduler(name),
+                   path_service=paths).run()
+        )
+        results[name] = metrics
+        print(f"{name:14s} {metrics.task_completion_ratio:>10.2%} "
+              f"{metrics.flow_completion_ratio:>10.2%} "
+              f"{metrics.wasted_bandwidth_ratio:>7.2%}")
+
+    taps = results["TAPS"]
+    fair = results["Fair Sharing"]
+    print(
+        f"\nOn pure incast the aggregator's access link fixes each task's "
+        f"makespan, so the\ncompletion gap is admission-driven and modest "
+        f"(TAPS {taps.task_completion_ratio:.0%} vs Fair Sharing "
+        f"{fair.task_completion_ratio:.0%}); the waste gap is not "
+        f"(TAPS {taps.wasted_bandwidth_ratio:.1%} vs "
+        f"{fair.wasted_bandwidth_ratio:.1%} of all bytes\nspent on "
+        f"aggregations that still failed)."
+    )
+
+
+if __name__ == "__main__":
+    main()

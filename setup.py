@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on environments
+whose pip/setuptools predate PEP 660 editable wheels (and offline hosts
+without the `wheel` package).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

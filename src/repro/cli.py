@@ -1,0 +1,231 @@
+"""Command-line entry point: ``repro-taps`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-taps motivation            # replay paper Figs. 1–3
+    repro-taps figure fig6           # regenerate a figure's series
+    repro-taps figure fig6 --scale medium
+    repro-taps all --scale small     # every figure, printed as tables
+    repro-taps nphard                # demo the §IV-B reduction
+    repro-taps zoo                   # TAPS on tree/fat-tree/BCube/FiConn
+    repro-taps optimality            # online TAPS vs the offline bound
+
+Figures print the same rows/series the paper reports; absolute values
+differ (simulated substrate, scaled topology) but orderings and trends
+should match — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.exp.configs import SCALES
+from repro.exp.figures import FIGURES, run_figure
+from repro.exp.motivation import run_all
+from repro.exp.report import render_sweep, render_timeseries
+
+
+def _cmd_motivation(_args) -> int:
+    for fig, outcomes in run_all().items():
+        print(f"== {fig} ==")
+        for o in outcomes:
+            ref = (
+                f"(paper: {o.paper_flows} flows / {o.paper_tasks} tasks)"
+                if o.paper_flows is not None
+                else "(paper: see docstring)"
+            )
+            mark = "ok" if o.matches_paper else "MISMATCH"
+            print(
+                f"  {o.scheduler:14s} {o.flows_met} flows / "
+                f"{o.tasks_completed} tasks  {ref} [{mark}]"
+            )
+    return 0
+
+
+def _print_figure(figure_id: str, scale_name: str):
+    scale = SCALES[scale_name]
+    t0 = time.time()
+    run = run_figure(figure_id, scale)
+    took = time.time() - t0
+    print(f"== {run.figure_id}: {run.title} (scale={scale_name}, {took:.1f}s) ==")
+    if run.notes:
+        print(f"   {run.notes}")
+    if run.sweep is not None:
+        for metric in run.primary_metrics:
+            print(render_sweep(run.sweep, metric))
+            print()
+    if run.timeseries:
+        print(render_timeseries(run.timeseries))
+        print()
+    return run
+
+
+def _cmd_figure(args) -> int:
+    run = _print_figure(args.figure, args.scale)
+    if args.csv is not None:
+        if run.sweep is None:
+            print(f"(no sweep data for {args.figure}; csv skipped)")
+        else:
+            run.sweep.to_csv(args.csv)
+            print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    for fid in sorted(FIGURES):
+        _print_figure(fid, args.scale)
+    return 0
+
+
+def _cmd_nphard(_args) -> int:
+    import networkx as nx
+
+    from repro.nphard import (
+        build_instance,
+        has_hamiltonian_circuit,
+        schedulable_subset_exists,
+    )
+
+    cases = {
+        "C5 (cycle)": nx.cycle_graph(5),
+        "P4 (path)": nx.path_graph(4),
+        "K4 (complete)": nx.complete_graph(4),
+        "K4 minus an edge": nx.complete_graph(4),
+    }
+    cases["K4 minus an edge"].remove_edge(0, 1)
+    print("graph                schedulable(n tasks)   hamiltonian circuit")
+    for name, g in cases.items():
+        tasks = build_instance(g)
+        sched = schedulable_subset_exists(tasks, g.number_of_nodes())
+        ham = has_hamiltonian_circuit(g)
+        print(f"{name:20s} {str(sched):22s} {ham}")
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    from repro.core.controller import TapsScheduler
+    from repro.metrics.summary import summarize
+    from repro.net.bcube import BCube
+    from repro.net.fattree import FatTree
+    from repro.net.ficonn import FiConn
+    from repro.net.paths import PathService
+    from repro.net.trees import SingleRootedTree
+    from repro.sim.engine import Engine
+    from repro.exp.configs import SCALES
+    from repro.workload.generator import generate_workload
+
+    scale = SCALES[args.scale]
+    topologies = {
+        "single-rooted": SingleRootedTree(2, 2, 4),
+        "fat-tree k=4": FatTree(4),
+        "bcube n=4 k=1": BCube(4, 1),
+        "ficonn n=4 k=1": FiConn(4, 1),
+    }
+    print("TAPS across the paper's cited architectures (§II):")
+    print(f"{'topology':16s} {'hosts':>5s} {'task ratio':>10s} "
+          f"{'flow ratio':>10s} {'waste':>6s}")
+    for label, topo in topologies.items():
+        hosts = list(topo.hosts)
+        cfg = scale.workload_config(
+            num_tasks=2 * len(hosts), mean_flows_per_task=4, seed=41
+        )
+        tasks = generate_workload(cfg, hosts)
+        paths = PathService(topo, max_paths=scale.max_paths)
+        m = summarize(
+            Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
+        )
+        print(f"{label:16s} {len(hosts):>5d} {m.task_completion_ratio:>10.3f} "
+              f"{m.flow_completion_ratio:>10.3f} {m.wasted_bandwidth_ratio:>6.3f}")
+    return 0
+
+
+def _cmd_optimality(args) -> int:
+    from repro.core.controller import TapsScheduler
+    from repro.core.optimal import offline_best_subset
+    from repro.net.paths import PathService
+    from repro.sim.engine import Engine
+    from repro.workload.generator import WorkloadConfig, generate_workload
+    from repro.workload.traces import dumbbell
+
+    topo = dumbbell(6)
+    paths = PathService(topo)
+    print("online TAPS vs offline EDF-packing optimum "
+          f"({args.instances} random 9-task instances):")
+    print("seed  TAPS  bound  gap")
+    total = 0
+    for seed in range(args.instances):
+        cfg = WorkloadConfig(
+            num_tasks=9, mean_flows_per_task=2, arrival_rate=2.0,
+            mean_flow_size=1.0, min_flow_size=0.2, mean_deadline=2.5,
+            seed=seed,
+        )
+        tasks = generate_workload(cfg, list(topo.hosts))
+        bound = offline_best_subset(tasks, paths, 1.0)
+        result = Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
+        gap = bound.best_count - result.tasks_completed
+        total += gap
+        print(f"{seed:>4d}  {result.tasks_completed:>4d}  "
+              f"{bound.best_count:>5d}  {gap:>3d}")
+    print(f"mean gap: {total / args.instances:.2f} tasks")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.exp.runner import generate_report
+
+    out = generate_report(args.out, SCALES[args.scale], args.figures)
+    print(f"wrote {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-taps",
+        description="TAPS (ICPP 2015) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("motivation", help="replay paper Figs. 1-3").set_defaults(
+        func=_cmd_motivation
+    )
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure")
+    p_fig.add_argument("figure", choices=sorted(FIGURES))
+    p_fig.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_fig.add_argument("--csv", default=None, metavar="FILE",
+                       help="also dump the raw per-seed series as CSV")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_all = sub.add_parser("all", help="regenerate every figure")
+    p_all.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_all.set_defaults(func=_cmd_all)
+
+    sub.add_parser("nphard", help="demo the §IV-B reduction").set_defaults(
+        func=_cmd_nphard
+    )
+
+    p_zoo = sub.add_parser("zoo", help="TAPS on the §II architectures")
+    p_zoo.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_zoo.set_defaults(func=_cmd_zoo)
+
+    p_opt = sub.add_parser("optimality",
+                           help="online TAPS vs the offline bound")
+    p_opt.add_argument("--instances", type=int, default=8)
+    p_opt.set_defaults(func=_cmd_optimality)
+
+    p_rep = sub.add_parser("report",
+                           help="regenerate every figure into a markdown file")
+    p_rep.add_argument("--out", default="results.md")
+    p_rep.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_rep.add_argument("--figures", nargs="*", choices=sorted(FIGURES),
+                       default=None)
+    p_rep.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Alg. 2 (*PathCalculation*) and Alg. 3 (*TimeAllocation*).
+
+Given a priority-ordered flow list, each flow greedily claims the earliest
+idle time it can find across its candidate paths; committed claims become
+occupancy that lower-priority flows must schedule around.  Flows are never
+refused here — a flow that cannot fit before its deadline is still
+allocated (past the deadline); detecting and acting on such misses is the
+reject rule's job (:mod:`repro.core.reject`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.occupancy import OccupancyLedger
+from repro.net.paths import PathService
+from repro.net.topology import Path
+from repro.sim.state import FlowState
+from repro.util.errors import AllocationError
+from repro.util.intervals import EPS, IntervalSet
+
+
+@dataclass(slots=True, eq=False)
+class FlowPlan:
+    """One flow's committed allocation: ``⟨L_ij, A_ij⟩`` of paper Table I.
+
+    Attributes
+    ----------
+    flow_state:
+        The flow this plan serves.
+    path:
+        Chosen route (link indices) — ``L_ij``.
+    slices:
+        Pre-allocated transmission intervals — ``A_ij``; their total
+        measure equals the flow's remaining transmission time at planning.
+    completion:
+        End of the last slice; compared against the deadline by the
+        reject rule.
+    """
+
+    flow_state: FlowState
+    path: Path
+    slices: IntervalSet
+    completion: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.completion <= self.flow_state.flow.deadline + EPS
+
+
+def time_allocation(
+    ledger: OccupancyLedger,
+    path: Path,
+    duration: float,
+    release: float,
+    horizon: float,
+) -> tuple[IntervalSet, float]:
+    """Alg. 3: allocate ``duration`` of idle time on ``path`` after ``release``.
+
+    Returns ``(slices, completion_time)``.  ``horizon`` must be generous
+    enough that the fit always succeeds (callers size it as
+    max-deadline + total backlog); running out is a programming error.
+    """
+    occupied = ledger.union_for(path)
+    idle = occupied.complement(release, horizon)
+    try:
+        slices = idle.first_fit(duration, release)
+    except ValueError as exc:
+        raise AllocationError(
+            f"horizon {horizon:g} too small for duration {duration:g} "
+            f"after t={release:g}"
+        ) from exc
+    return slices, slices.end()
+
+
+def completion_on_path(
+    ledger: OccupancyLedger,
+    path: Path,
+    duration: float,
+    release: float,
+    horizon: float,
+) -> float:
+    """Completion time a flow would get on ``path`` — Alg. 3 without
+    materialising the slices (used to compare candidate paths cheaply)."""
+    occupied = ledger.union_for(path)
+    idle = occupied.complement(release, horizon)
+    try:
+        return idle.idle_fit_end(duration, release)
+    except ValueError as exc:
+        raise AllocationError(
+            f"horizon {horizon:g} too small for duration {duration:g} "
+            f"after t={release:g}"
+        ) from exc
+
+
+def path_calculation(
+    flows: list[FlowState],
+    ledger: OccupancyLedger,
+    paths: PathService,
+    capacity: float,
+    now: float,
+    horizon: float,
+    on_unplannable: str = "raise",
+) -> dict[int, FlowPlan]:
+    """Alg. 2: allocate every flow, in the order given, onto its best path.
+
+    ``flows`` must already be sorted by the caller (Alg. 1 line 9 sorts by
+    EDF then SJF).  The ledger is mutated: each flow's winning slices are
+    committed before the next flow is considered.
+
+    ``on_unplannable`` controls what happens when *no* candidate path can
+    fit a flow within the horizon (only possible when the caller blocked
+    links, e.g. for outages): ``"raise"`` propagates
+    :class:`~repro.util.errors.AllocationError`; ``"skip"`` omits the flow
+    from the returned plans (it simply does not transmit for now).
+
+    Returns plans keyed by flow id.
+    """
+    if on_unplannable not in ("raise", "skip"):
+        raise ValueError(f"bad on_unplannable {on_unplannable!r}")
+    plans: dict[int, FlowPlan] = {}
+    for fs in flows:
+        f = fs.flow
+        duration = fs.remaining / capacity
+        release = max(now, f.release)
+        candidates = paths.candidates(f.src, f.dst)
+        if not candidates:
+            raise AllocationError(f"no path for flow {f.flow_id}: {f.src}->{f.dst}")
+
+        if len(candidates) == 1:
+            best_path = candidates[0]
+        else:
+            # line 7–14: keep the path with the earliest completion
+            best_path, best_end = None, float("inf")
+            for p in candidates:
+                try:
+                    end = completion_on_path(ledger, p, duration, release, horizon)
+                except AllocationError:
+                    continue  # this candidate cannot fit (blocked link)
+                if end < best_end - EPS:
+                    best_end, best_path = end, p
+        if best_path is None:
+            if on_unplannable == "skip":
+                continue
+            raise AllocationError(
+                f"no candidate path can fit flow {f.flow_id} "
+                f"({f.src}->{f.dst}) within horizon {horizon:g}"
+            )
+
+        try:
+            slices, completion = time_allocation(
+                ledger, best_path, duration, release, horizon
+            )
+        except AllocationError:
+            if on_unplannable == "skip":
+                continue
+            raise
+        ledger.commit(best_path, slices)
+        plans[f.flow_id] = FlowPlan(
+            flow_state=fs, path=best_path, slices=slices, completion=completion
+        )
+    return plans
+
+
+def allocation_horizon(flows: list[FlowState], capacity: float, now: float) -> float:
+    """A horizon that guarantees every fit succeeds.
+
+    Worst case every flow is scheduled serially after the latest deadline:
+    ``max(deadline, now) + Σ durations`` plus one second of slack.
+    """
+    if not flows:
+        return now + 1.0
+    latest = max(fs.flow.deadline for fs in flows)
+    backlog = sum(fs.remaining for fs in flows) / capacity
+    return max(latest, now) + backlog + 1.0

@@ -1,0 +1,493 @@
+"""Alg. 1 — the TAPS controller as a simulator scheduler.
+
+On every task arrival the controller:
+
+1. gathers ``Ftmp`` = the new task's flows + every in-flight accepted flow
+   (their *remaining* sizes — progress made so far is kept);
+2. sorts by EDF then SJF and runs :func:`~repro.core.allocation.path_calculation`
+   on a **fresh** trial ledger (global re-optimisation: in-flight flows may
+   be moved to new slices and even new paths — this is TAPS' preemption);
+3. applies the :class:`~repro.core.reject.RejectRule`; on *discard-victim*
+   the victim's flows are killed and the trial repeats without them;
+4. on acceptance commits the trial (plans + ledger); on rejection drops it
+   — in-flight flows keep their previous slices untouched, and the rejected
+   task never sends a byte.
+
+Senders then transmit at full link rate exactly inside their allocated
+slices (paper §IV-D); accepted flows meet their deadlines by construction,
+so the only wasted bytes TAPS can produce come from preempted victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import (
+    FlowPlan,
+    allocation_horizon,
+    path_calculation,
+)
+from repro.core.reject import Decision, PreemptionPolicy, RejectRule
+from repro.core.occupancy import OccupancyLedger
+from repro.sched.base import PRIORITY_KEYS, Scheduler
+from repro.sim.state import FlowState, FlowStatus, TaskState
+from repro.util.intervals import EPS, IntervalSet
+
+#: how far into the future a down link is considered unusable; the
+#: controller does not know outage durations, so "forever" — recovery
+#: triggers a fresh reallocation that lifts the block
+_BLOCK_HORIZON = 1e15
+
+
+@dataclass(frozen=True, slots=True)
+class RejectionDiagnostics:
+    """Why a task was rejected — the controller's explain-mode record.
+
+    Attributes
+    ----------
+    task_id, time:
+        The rejected task and when the decision was made.
+    reason:
+        ``"deadline-expired"`` (dead on arrival, incl. control latency),
+        ``"unreachable"`` (no usable path — outage), ``"would-miss"``
+        (the trial allocation missed deadlines; see ``lateness``),
+        ``"table-limit"`` (per-switch install budget exceeded).
+    lateness:
+        For ``would-miss``: ``(flow_id, seconds past its deadline)`` of
+        the trial's missing flows — how far from admissible the task was.
+    """
+
+    task_id: int
+    time: float
+    reason: str
+    lateness: tuple[tuple[int, float], ...] = ()
+
+
+@dataclass(slots=True)
+class TapsStats:
+    """Controller decision counters (reported by experiments)."""
+
+    tasks_accepted: int = 0
+    tasks_rejected: int = 0
+    tasks_preempted: int = 0
+    reallocations: int = 0
+    backstop_kills: int = 0
+    flows_planned: int = 0
+    fault_reroutes: int = 0
+    tasks_dropped_on_fault: int = 0
+
+
+class TapsScheduler(Scheduler):
+    """TAPS: task-level deadline-aware preemptive flow scheduling.
+
+    Parameters
+    ----------
+    preemption:
+        Case-3 comparison policy of the reject rule (see
+        :class:`~repro.core.reject.PreemptionPolicy`); the default is the
+        paper's literal transmitted-bytes reading.
+    batch_window:
+        Alg. 1 line 7's wait interval ``T``: tasks arriving within the
+        window are admitted together at its end, most urgent first —
+        batching buys admission-order freedom at the cost of start
+        latency.  0 (default) admits immediately, which is exact for the
+        paper's workloads (all flows of a task arrive together anyway).
+    control_latency:
+        One controller round-trip (probe → compute → install, Fig. 4).
+        Transmission slices are only allocated from ``now + latency``;
+        reallocation of in-flight flows likewise pauses them for one
+        RTT (a conservative model of rule installation delay).
+    flow_table_limit:
+        §IV-C's switch constraint: "only the first 1k entries are
+        installed on a particular switch."  When set, a task whose
+        admission would put more than this many concurrently-planned
+        flows through any one switch is rejected.  ``None`` (default)
+        models unconstrained tables, like the paper's simulations.
+    reallocate_inflight:
+        Alg. 1 re-path-calculates *all* of ``Ftmp`` on each arrival —
+        in-flight flows may move to new slices and paths (the paper's
+        global preemptive re-optimisation; default).  ``False`` switches
+        to **incremental admission**: existing plans are frozen and only
+        the new task's flows are packed around them (cheaper, Varys-like
+        rigidity) — the ablation benchmark measures what the global
+        reallocation buys.
+    priority:
+        The ``Ftmp`` sort order of Alg. 1 line 9.  The paper prescribes
+        ``"edf_sjf"``; ``"edf"``, ``"sjf"`` and ``"fifo"`` are ablation
+        variants (see :data:`repro.sched.base.PRIORITY_KEYS`).
+    explain:
+        Record a :class:`RejectionDiagnostics` (reason + per-flow
+        lateness) for every rejected task in ``self.diagnostics`` —
+        the operator's "why was my task refused?" trail.
+    """
+
+    name = "TAPS"
+
+    def __init__(
+        self,
+        preemption: PreemptionPolicy = PreemptionPolicy.PROGRESS,
+        batch_window: float = 0.0,
+        control_latency: float = 0.0,
+        flow_table_limit: int | None = None,
+        reallocate_inflight: bool = True,
+        priority: str = "edf_sjf",
+        explain: bool = False,
+    ) -> None:
+        super().__init__()
+        if batch_window < 0 or control_latency < 0:
+            raise ValueError("batch_window/control_latency must be >= 0")
+        if flow_table_limit is not None and flow_table_limit < 1:
+            raise ValueError("flow_table_limit must be >= 1")
+        self.rule = RejectRule(preemption)
+        self.batch_window = batch_window
+        self.control_latency = control_latency
+        self.flow_table_limit = flow_table_limit
+        self.reallocate_inflight = reallocate_inflight
+        if priority not in PRIORITY_KEYS:
+            raise ValueError(
+                f"unknown priority {priority!r}; known: {sorted(PRIORITY_KEYS)}"
+            )
+        self.priority = priority
+        self._priority_key = PRIORITY_KEYS[priority]
+        self.explain = explain
+        self.diagnostics: list[RejectionDiagnostics] = []
+        self._switch_of_link: dict[int, str] = {}
+        self.ledger = OccupancyLedger()
+        self.plans: dict[int, FlowPlan] = {}
+        self.stats = TapsStats()
+        self._capacity: float = 0.0
+        self._task_states: dict[int, TaskState] = {}
+        self._pending: list[TaskState] = []
+        self._flush_at: float | None = None
+        self._down_links: frozenset[int] = frozenset()
+        self._accepted_flows: dict[int, FlowState] = {}
+
+    def attach(self, topology, paths) -> None:
+        super().attach(topology, paths)
+        self.ledger = OccupancyLedger()
+        self.plans = {}
+        self.stats = TapsStats()
+        self._task_states = {}
+        self._pending = []
+        self._flush_at = None
+        self._down_links = frozenset()
+        self._accepted_flows = {}
+        self.diagnostics = []
+        self._capacity = topology.uniform_capacity()
+        switch_set = set(topology.switches)
+        self._switch_of_link = {
+            l.index: l.src for l in topology.links if l.src in switch_set
+        }
+
+    # -- admission (Alg. 1) ------------------------------------------------
+
+    def on_task_arrival(self, task_state: TaskState, now: float) -> None:
+        if self.batch_window > 0:
+            # Alg. 1 line 7: wait T, gathering concurrent arrivals
+            self._pending.append(task_state)
+            if self._flush_at is None:
+                self._flush_at = now + self.batch_window
+            return
+        self._admit_task(task_state, now)
+
+    def _flush_pending(self, now: float) -> None:
+        """Admit the batched tasks, most urgent (EDF) first."""
+        pending, self._pending = self._pending, []
+        self._flush_at = None
+        for ts in sorted(pending, key=lambda t: (t.task.deadline, t.task.task_id)):
+            self._admit_task(ts, now)
+
+    def _admit_task(self, task_state: TaskState, now: float) -> None:
+        assert self.paths is not None
+        self._task_states[task_state.task.task_id] = task_state
+        # one controller round-trip before any new slice can start
+        start = now + self.control_latency
+
+        new_flows = [fs for fs in task_state.flow_states if fs.active]
+        if task_state.task.deadline <= start + EPS or not new_flows:
+            self._reject(task_state, reason="deadline-expired", now=now)
+            return
+        now = start
+
+        old_flows = [fs for fs in self._accepted_flows.values() if fs.active]
+        victims: list[int] = []
+
+        if not self.reallocate_inflight:
+            self._admit_incremental(task_state, new_flows, now)
+            return
+
+        while True:
+            ftmp = sorted(old_flows + new_flows, key=self._priority_key)
+            trial_ledger = self._outage_ledger()
+            horizon = allocation_horizon(ftmp, self._capacity, now)
+            trial_plans = path_calculation(
+                ftmp, trial_ledger, self.paths, self._capacity, now, horizon,
+                on_unplannable="skip",
+            )
+            self.stats.reallocations += 1
+            self.stats.flows_planned += len(trial_plans)
+
+            # a new-task flow with no usable path at all (outage) → reject
+            if any(fs.flow.flow_id not in trial_plans for fs in new_flows):
+                self._reject(task_state, reason="unreachable", now=now)
+                return
+
+            decision = self.rule.evaluate(trial_plans, task_state, self._task_states)
+
+            if decision.decision is Decision.ACCEPT:
+                if not self._tables_fit(trial_plans):
+                    # §IV-C: some switch would exceed its install budget
+                    self._reject(task_state, reason="table-limit", now=now)
+                    return
+                self._commit(task_state, trial_plans, trial_ledger, victims)
+                return
+
+            if decision.decision is Decision.REJECT_NEW:
+                # drop the trial; previous plans (untouched) stay in force
+                lateness = tuple(
+                    (fid, trial_plans[fid].completion
+                     - trial_plans[fid].flow_state.flow.deadline)
+                    for fid in decision.missing_flow_ids
+                    if fid in trial_plans
+                )
+                self._reject(task_state, reason="would-miss",
+                             lateness=lateness, now=now)
+                return
+
+            # DISCARD_VICTIM: retry the trial without the victim's flows.
+            # The kill is DEFERRED to commit time — if the newcomer ends
+            # up rejected anyway (e.g. by the table limit), the victim's
+            # committed plans were never touched and it survives intact.
+            assert decision.victim_task_id is not None
+            victims.append(decision.victim_task_id)
+            old_flows = [
+                fs for fs in old_flows if fs.flow.task_id != decision.victim_task_id
+            ]
+
+    def _commit(
+        self,
+        task_state: TaskState,
+        trial_plans: dict[int, FlowPlan],
+        trial_ledger: OccupancyLedger,
+        victims: list[int],
+    ) -> None:
+        # the preemption decided during the trial becomes real only now:
+        # kill the victims' flows (their bytes become TAPS' only waste).
+        # They keep accepted=True — they *were* admitted; the preemption
+        # shows up as a FAILED outcome.
+        for victim_id in victims:
+            victim_state = self._task_states[victim_id]
+            for fs in victim_state.flow_states:
+                if fs.active:
+                    fs.kill(FlowStatus.TERMINATED)
+                self.plans.pop(fs.flow.flow_id, None)
+                self._accepted_flows.pop(fs.flow.flow_id, None)
+
+        self.plans = dict(trial_plans)
+        self.ledger = trial_ledger
+        for plan in trial_plans.values():
+            plan.flow_state.path = plan.path
+        task_state.accepted = True
+        for fs in task_state.flow_states:
+            if fs.active:
+                self._accepted_flows[fs.flow.flow_id] = fs
+        self.stats.tasks_accepted += 1
+        self.stats.tasks_preempted += len(victims)
+        self.active_flows = [
+            fs for fs in self._accepted_flows.values() if fs.active
+        ]
+
+    def _admit_incremental(
+        self, task_state: TaskState, new_flows: list[FlowState], now: float
+    ) -> None:
+        """Incremental admission: pack only the new flows around the
+        frozen existing plans; accept iff they all meet their deadlines.
+
+        No reordering, no preemption — deliberately rigid, for the
+        reallocation ablation.
+        """
+        assert self.paths is not None
+        ftmp = sorted(new_flows, key=self._priority_key)
+        trial_ledger = self.ledger.copy()
+        if self._down_links:
+            block = IntervalSet.single(0.0, _BLOCK_HORIZON)
+            for l in self._down_links:
+                trial_ledger.commit((l,), block)
+        horizon = allocation_horizon(
+            ftmp + [fs for fs in self._accepted_flows.values() if fs.active],
+            self._capacity,
+            now,
+        )
+        trial_plans = path_calculation(
+            ftmp, trial_ledger, self.paths, self._capacity, now, horizon,
+            on_unplannable="skip",
+        )
+        self.stats.reallocations += 1
+        self.stats.flows_planned += len(trial_plans)
+        if len(trial_plans) < len(new_flows):
+            self._reject(task_state, reason="unreachable", now=now)
+            return
+        if any(not p.meets_deadline for p in trial_plans.values()):
+            lateness = tuple(
+                (fid, p.completion - p.flow_state.flow.deadline)
+                for fid, p in trial_plans.items()
+                if not p.meets_deadline
+            )
+            self._reject(task_state, reason="would-miss",
+                         lateness=lateness, now=now)
+            return
+        if not self._tables_fit({**self.plans, **trial_plans}):
+            self._reject(task_state, reason="table-limit", now=now)
+            return
+        self.plans.update(trial_plans)
+        self.ledger = trial_ledger
+        for plan in trial_plans.values():
+            plan.flow_state.path = plan.path
+        task_state.accepted = True
+        for fs in task_state.flow_states:
+            if fs.active:
+                self._accepted_flows[fs.flow.flow_id] = fs
+        self.stats.tasks_accepted += 1
+
+    def _reject(
+        self,
+        task_state: TaskState,
+        reason: str = "would-miss",
+        lateness: tuple = (),
+        now: float = 0.0,
+    ) -> None:
+        self._reject_task(task_state)
+        self.stats.tasks_rejected += 1
+        if self.explain:
+            self.diagnostics.append(
+                RejectionDiagnostics(
+                    task_id=task_state.task.task_id,
+                    time=now,
+                    reason=reason,
+                    lateness=tuple(lateness),
+                )
+            )
+
+    def _tables_fit(self, trial_plans: dict[int, FlowPlan]) -> bool:
+        """Whether every switch's concurrent planned-flow count fits its
+        install budget (``flow_table_limit``)."""
+        if self.flow_table_limit is None:
+            return True
+        per_switch: dict[str, int] = {}
+        for plan in trial_plans.values():
+            if not plan.flow_state.active:
+                continue
+            for sw in {self._switch_of_link[l] for l in plan.path
+                       if l in self._switch_of_link}:
+                count = per_switch.get(sw, 0) + 1
+                if count > self.flow_table_limit:
+                    return False
+                per_switch[sw] = count
+        return True
+
+    # -- sender model (paper §IV-D) -------------------------------------------
+
+    def assign_rates(self, now: float) -> None:
+        if self._flush_at is not None and now >= self._flush_at - EPS:
+            self._flush_pending(now)
+        # probe just inside 'now' so a boundary landing within float dust
+        # of a slice edge resolves to the correct side
+        probe = now + 2 * EPS
+        for plan in self.plans.values():
+            fs = plan.flow_state
+            if not fs.active:
+                continue
+            fs.rate = self._capacity if plan.slices.contains(probe) else 0.0
+
+    def next_change(self, now: float) -> float | None:
+        """Earliest upcoming slice boundary or batch-flush time."""
+        best: float | None = None
+        if self._flush_at is not None and self._flush_at > now + EPS:
+            best = self._flush_at
+        for plan in self.plans.values():
+            if not plan.flow_state.active:
+                continue
+            b = plan.slices.next_boundary(now)
+            if b is not None and (best is None or b < best):
+                best = b
+        return best
+
+    # -- faults -------------------------------------------------------------
+
+    def _outage_ledger(self) -> OccupancyLedger:
+        """A fresh ledger with every down link blocked "forever"."""
+        ledger = OccupancyLedger()
+        if self._down_links:
+            block = IntervalSet.single(0.0, _BLOCK_HORIZON)
+            for l in self._down_links:
+                ledger.commit((l,), block)
+        return ledger
+
+    def on_link_state_change(self, down_links: frozenset[int], now: float) -> None:
+        """Reroute: globally reallocate all in-flight flows around the new
+        outage picture (and back onto recovered links)."""
+        self._down_links = frozenset(down_links)
+        self._reallocate_inflight(now)
+
+    def _reallocate_inflight(self, now: float) -> None:
+        flows = [fs for fs in self._accepted_flows.values() if fs.active]
+        while True:
+            ftmp = sorted(flows, key=self._priority_key)
+            ledger = self._outage_ledger()
+            horizon = allocation_horizon(ftmp, self._capacity, now)
+            plans = path_calculation(
+                ftmp, ledger, self.paths, self._capacity, now, horizon,
+                on_unplannable="skip",
+            )
+            self.stats.reallocations += 1
+            missing_tasks = {
+                p.flow_state.flow.task_id
+                for p in plans.values()
+                if not p.meets_deadline
+            }
+            if not missing_tasks:
+                self.plans = plans
+                self.ledger = ledger
+                for p in plans.values():
+                    p.flow_state.path = p.path
+                self.stats.fault_reroutes += 1
+                return
+            # a task the outage made unmeetable: stop it now rather than
+            # waste bandwidth on a doomed transfer (task-level philosophy)
+            for tid in missing_tasks:
+                self._drop_task_on_fault(tid)
+            flows = [fs for fs in flows if fs.flow.task_id not in missing_tasks]
+
+    def _drop_task_on_fault(self, task_id: int) -> None:
+        ts = self._task_states.get(task_id)
+        if ts is None:  # still pending in a batch window
+            return
+        for fs in ts.flow_states:
+            if fs.active:
+                fs.kill(FlowStatus.TERMINATED)
+            self.plans.pop(fs.flow.flow_id, None)
+            self._accepted_flows.pop(fs.flow.flow_id, None)
+        self.stats.tasks_dropped_on_fault += 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def on_flow_completed(self, fs: FlowState, now: float) -> None:
+        self.plans.pop(fs.flow.flow_id, None)
+        self._accepted_flows.pop(fs.flow.flow_id, None)
+        super().on_flow_completed(fs, now)
+
+    def on_deadline_expired(self, fs: FlowState, now: float) -> None:
+        # Accepted flows meet deadlines by construction; reaching this
+        # means an outage stranded the flow past its deadline (or a
+        # numerical corner case).  Task-level no-waste: stop the whole
+        # task, not just this flow.
+        self.stats.backstop_kills += 1
+        self._drop_task_on_fault(fs.flow.task_id)
+        self.stats.tasks_dropped_on_fault -= 1  # counted as backstop instead
+        if fs.active:
+            fs.kill(FlowStatus.TERMINATED)
+        self._drop(fs)
+
+    def plan_of(self, flow_id: int) -> FlowPlan | None:
+        """The committed plan for a flow (None once completed/never planned)."""
+        return self.plans.get(flow_id)

@@ -1,0 +1,92 @@
+"""Per-link occupancy ledger — the ``O_x`` sets of paper Table I.
+
+The ledger records, for every link, the union of transmission slices of all
+flows allocated onto it.  TAPS rebuilds the ledger from scratch on every
+task arrival (Alg. 1 re-path-calculates all of ``Ftmp``), so the ledger
+also knows how to reconstruct itself from a set of committed flow plans —
+that reconstruction is the rollback path of the reject rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.net.topology import Path
+from repro.util.intervals import IntervalSet, union_all
+
+
+class OccupancyLedger:
+    """Occupied-time sets for every link of a topology.
+
+    Only links that have ever been touched hold an entry; untouched links
+    are implicitly idle everywhere (important on 36k-server topologies
+    where a workload touches a tiny fraction of links).
+    """
+
+    def __init__(self) -> None:
+        self._occ: dict[int, IntervalSet] = {}
+
+    def occupied(self, link_index: int) -> IntervalSet:
+        """The occupied set of one link (empty set if untouched)."""
+        got = self._occ.get(link_index)
+        return got if got is not None else IntervalSet()
+
+    def union_for(self, path: Path) -> IntervalSet:
+        """``T_ocp`` — union of occupied sets along a path (Alg. 3 lines 1–4)."""
+        sets = [s for l in path if (s := self._occ.get(l)) is not None]
+        if not sets:
+            return IntervalSet()
+        if len(sets) == 1:
+            return sets[0].copy()
+        return union_all(sets)
+
+    def commit(self, path: Path, slices: IntervalSet) -> None:
+        """Mark ``slices`` occupied on every link of ``path`` (Alg. 2 line 15)."""
+        for l in path:
+            existing = self._occ.get(l)
+            if existing is None:
+                self._occ[l] = slices.copy()
+            else:
+                existing.union_update(slices)
+
+    def clear(self) -> None:
+        self._occ.clear()
+
+    def copy(self) -> "OccupancyLedger":
+        """Deep copy (used by incremental admission trials)."""
+        out = OccupancyLedger()
+        out._occ = {l: s.copy() for l, s in self._occ.items()}
+        return out
+
+    def rebuild(self, plans: Iterable[tuple[Path, IntervalSet]]) -> None:
+        """Reset to exactly the union of the given committed plans.
+
+        Used both for the per-arrival fresh ledger (rebuild from surviving
+        flows) and for reject-rule rollback (rebuild from the pre-trial
+        plans, which restores the previous allocation verbatim).
+        """
+        self.clear()
+        for path, slices in plans:
+            self.commit(path, slices)
+
+    def touched_links(self) -> list[int]:
+        """Indices of links with any occupancy (diagnostics)."""
+        return sorted(l for l, s in self._occ.items() if s)
+
+    def assert_exclusive(self, plans: list[tuple[Path, IntervalSet]]) -> None:
+        """Invariant check: no two plans overlap in time on a shared link.
+
+        O(n² · slices) — test/debug use only.
+        """
+        by_link: dict[int, list[IntervalSet]] = {}
+        for path, slices in plans:
+            for l in path:
+                by_link.setdefault(l, []).append(slices)
+        for l, sets in by_link.items():
+            for i in range(len(sets)):
+                for j in range(i + 1, len(sets)):
+                    inter = sets[i].intersection(sets[j])
+                    if inter.measure() > 1e-9:
+                        raise AssertionError(
+                            f"link {l}: overlapping slices {inter!r}"
+                        )

@@ -1,0 +1,26 @@
+"""Experiment harness: one runner per paper table/figure.
+
+* :mod:`~repro.exp.configs` — scales (CI-sized vs paper-sized) and
+  per-figure parameterisation;
+* :mod:`~repro.exp.sweep` — the scheduler × parameter grid runner;
+* :mod:`~repro.exp.figures` — ``run_figure("fig6")`` … ``("fig14")``;
+* :mod:`~repro.exp.motivation` — the worked examples of Figs. 1–3;
+* :mod:`~repro.exp.report` — ASCII tables of measured series.
+"""
+
+from repro.exp.configs import Scale, SMALL, MEDIUM, PAPER
+from repro.exp.sweep import SweepResult, run_sweep
+from repro.exp.figures import FIGURES, run_figure
+from repro.exp.report import render_sweep
+
+__all__ = [
+    "Scale",
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+    "SweepResult",
+    "run_sweep",
+    "FIGURES",
+    "run_figure",
+    "render_sweep",
+]

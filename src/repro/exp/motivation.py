@@ -1,0 +1,105 @@
+"""The worked examples of paper Figs. 1–3, runnable end to end.
+
+Each function replays the example under the relevant schedulers and
+returns per-scheduler (flows met, tasks completed) alongside the paper's
+published outcome, so tests and the motivation example script can assert
+the reproduction exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.controller import TapsScheduler
+from repro.metrics.summary import summarize
+from repro.sched.baraat import Baraat
+from repro.sched.d3 import D3
+from repro.sched.fair import FairSharing
+from repro.sched.pdq import PDQ
+from repro.sched.varys import Varys
+from repro.sim.engine import Engine
+from repro.workload.traces import fig1_trace, fig2_trace, fig3_trace
+
+
+@dataclass(frozen=True, slots=True)
+class ExampleOutcome:
+    """Measured vs published result for one scheduler on one example."""
+
+    scheduler: str
+    flows_met: int
+    tasks_completed: int
+    paper_flows: int | None
+    paper_tasks: int | None
+
+    @property
+    def matches_paper(self) -> bool:
+        return (self.paper_flows is None or self.flows_met == self.paper_flows) and (
+            self.paper_tasks is None or self.tasks_completed == self.paper_tasks
+        )
+
+
+def _run(trace, scheduler) -> tuple[int, int]:
+    topo, tasks = trace()
+    metrics = summarize(Engine(topo, tasks, scheduler).run())
+    return metrics.flows_met, metrics.tasks_completed
+
+
+def run_fig1() -> list[ExampleOutcome]:
+    """Fig. 1: task-level vs flow-level scheduling on one bottleneck.
+
+    Published outcomes (Fig. 1(b)–(e)): Fair Sharing 1 flow / 0 tasks,
+    D3 1 / 0, PDQ 2 / 0, task-aware scheduling (TAPS) 2 / 1.
+    """
+    published = {
+        "Fair Sharing": (1, 0),
+        "D3": (1, 0),
+        "PDQ": (2, 0),
+        "TAPS": (2, 1),
+    }
+    out = []
+    for sched in (FairSharing(), D3(), PDQ(), TapsScheduler()):
+        flows, tasks = _run(fig1_trace, sched)
+        pf, pt = published[sched.name]
+        out.append(ExampleOutcome(sched.name, flows, tasks, pf, pt))
+    return out
+
+
+def run_fig2() -> list[ExampleOutcome]:
+    """Fig. 2: preemptive task-level scheduling vs Baraat/Varys.
+
+    Published outcomes (Fig. 2(b)–(d)): Baraat ≤ 1 task (t2 always
+    fails), Varys 1 task, TAPS 2 tasks.  The paper's prose for Baraat is
+    ambiguous ("fails to all the tasks") while its serial SJF schedule
+    completes t1 by t=2 < 4 — we record task counts and assert TAPS' win.
+    """
+    published = {
+        "Baraat": (None, None),  # prose ambiguous; see docstring
+        "Varys": (2, 1),
+        "TAPS": (4, 2),
+    }
+    out = []
+    for sched in (Baraat(), Varys(), TapsScheduler()):
+        flows, tasks = _run(fig2_trace, sched)
+        pf, pt = published[sched.name]
+        out.append(ExampleOutcome(sched.name, flows, tasks, pf, pt))
+    return out
+
+
+def run_fig3() -> list[ExampleOutcome]:
+    """Fig. 3: global scheduling vs PDQ on the 6-switch topology.
+
+    Published: PDQ (with a full flow list at its switches) completes 3 of
+    4 flows; globally scheduled TAPS completes all 4 (f4 split into
+    (0,1) ∪ (2,3)).
+    """
+    out = []
+    flows, tasks = _run(fig3_trace, PDQ(flow_list_limit=1))
+    out.append(ExampleOutcome("PDQ", flows, tasks, 3, 3))
+    flows, tasks = _run(fig3_trace, TapsScheduler())
+    out.append(ExampleOutcome("TAPS", flows, tasks, 4, 4))
+    return out
+
+
+def run_all() -> dict[str, list[ExampleOutcome]]:
+    """All three motivation examples."""
+    return {"fig1": run_fig1(), "fig2": run_fig2(), "fig3": run_fig3()}

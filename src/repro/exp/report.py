@@ -1,0 +1,107 @@
+"""ASCII rendering of sweep results — "the same rows the paper reports".
+
+Benchmarks and the CLI print these tables; EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exp.sweep import SweepResult
+from repro.util.units import KB, ms
+
+
+def _fmt_param(name: str, value: float) -> str:
+    if name == "mean_deadline":
+        return f"{value / ms:.0f}ms"
+    if name == "mean_flow_size":
+        return f"{value / KB:.0f}KB"
+    return f"{value:g}"
+
+
+def render_sweep(
+    sweep: SweepResult,
+    metric: str,
+    title: str = "",
+    exclude: tuple[str, ...] = (),
+) -> str:
+    """One metric as a schedulers × parameter-values table."""
+    scheds = [s for s in sweep.schedulers if s not in exclude]
+    header = [sweep.param_name] + [
+        _fmt_param(sweep.param_name, v) for v in sweep.param_values
+    ]
+    rows = [header]
+    for s in scheds:
+        rows.append([s] + [f"{v:.3f}" for v in sweep.series[s][metric]])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"metric: {metric}")
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_timeseries(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Fig. 14-style traces as sparkline rows (one char per sample bucket)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lines = [title] if title else []
+    for name, (times, pct) in series.items():
+        if len(pct) == 0:
+            lines.append(f"{name:14s} (no data)")
+            continue
+        buckets = np.array_split(pct, min(width, len(pct)))
+        chars = "".join(
+            blocks[int(np.clip(np.mean(b) / 100 * (len(blocks) - 1), 0, len(blocks) - 1))]
+            for b in buckets
+        )
+        lines.append(f"{name:14s} |{chars}| mean={pct[pct > 0].mean() if (pct > 0).any() else 0:.0f}%")
+    return "\n".join(lines)
+
+
+def render_sweep_with_ci(
+    sweep: SweepResult,
+    metric: str,
+    title: str = "",
+    exclude: tuple[str, ...] = (),
+) -> str:
+    """Like :func:`render_sweep` but each cell is ``mean±ci95`` (multi-seed
+    sweeps; single-seed cells render as plain means)."""
+    from repro.exp.stats import seed_stats
+
+    scheds = [s for s in sweep.schedulers if s not in exclude]
+    header = [sweep.param_name] + [
+        _fmt_param(sweep.param_name, v) for v in sweep.param_values
+    ]
+    rows = [header]
+    for s in scheds:
+        stats = seed_stats(sweep, s, metric)
+        cells = []
+        for m, ci in zip(stats.mean, stats.ci95):
+            cells.append(f"{m:.3f}±{ci:.3f}" if stats.n > 1 else f"{m:.3f}")
+        rows.append([s] + cells)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"metric: {metric} (mean±95% CI over seeds)")
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_summary_line(sweep: SweepResult, metric: str) -> str:
+    """One-line per-scheduler means, for quick bench output."""
+    parts = [
+        f"{s}={np.mean(sweep.series[s][metric]):.3f}" for s in sweep.schedulers
+    ]
+    return f"{metric}: " + "  ".join(parts)

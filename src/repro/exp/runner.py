@@ -1,0 +1,88 @@
+"""One-shot report generation: every figure → a markdown results file.
+
+``python -m repro report --out results.md`` regenerates each paper figure
+at the chosen scale and writes a self-contained markdown report with the
+same tables the benchmarks assert on — the quickest way to refresh
+EXPERIMENTS.md-style numbers after a change.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.exp.configs import Scale, SMALL
+from repro.exp.figures import FIGURES, FigureRun, run_figure
+from repro.exp.motivation import run_all as run_motivation
+from repro.exp.report import render_sweep, render_sweep_with_ci, render_timeseries
+from repro.exp.shapes import check_shapes
+
+
+def figure_markdown(run: FigureRun, scale: Scale, took: float) -> str:
+    """One figure's results as a markdown section."""
+    lines = [f"## {run.figure_id} — {run.title}",
+             "",
+             f"*scale: {scale.name}, regenerated in {took:.1f}s*",
+             ""]
+    if run.notes:
+        lines += [f"> {run.notes}", ""]
+    if run.sweep is not None:
+        multi_seed = len(scale.seeds) > 1
+        for metric in run.primary_metrics:
+            renderer = render_sweep_with_ci if multi_seed else render_sweep
+            lines += ["```", renderer(run.sweep, metric), "```", ""]
+        checks = check_shapes(run.figure_id, run.sweep)
+        if checks:
+            lines.append("Shape claims (see EXPERIMENTS.md):")
+            lines.append("")
+            for description, holds in checks:
+                lines.append(f"- {'✓' if holds else '✗'} {description}")
+            lines.append("")
+    if run.timeseries:
+        lines += ["```", render_timeseries(run.timeseries), "```", ""]
+    return "\n".join(lines)
+
+
+def motivation_markdown() -> str:
+    """The Figs. 1–3 worked examples as a markdown section."""
+    lines = ["## Motivation examples (paper Figs. 1–3)", ""]
+    for fig, outcomes in run_motivation().items():
+        lines.append(f"### {fig}")
+        lines.append("")
+        lines.append("| scheduler | flows met | tasks completed | matches paper |")
+        lines.append("|---|---|---|---|")
+        for o in outcomes:
+            lines.append(
+                f"| {o.scheduler} | {o.flows_met} | {o.tasks_completed} | "
+                f"{'yes' if o.matches_paper else 'NO'} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    out_path: str | Path,
+    scale: Scale = SMALL,
+    figures: Sequence[str] | None = None,
+) -> Path:
+    """Regenerate figures and write the markdown report; returns the path."""
+    selected = sorted(FIGURES) if figures is None else list(figures)
+    sections = [
+        "# TAPS reproduction — regenerated results",
+        "",
+        f"Scale: `{scale.name}` "
+        f"({scale.num_tasks} tasks × ~{scale.mean_flows_per_task:g} flows, "
+        f"seeds {list(scale.seeds)}). "
+        "Shapes, not absolute values, are the reproduction target; "
+        "see EXPERIMENTS.md.",
+        "",
+        motivation_markdown(),
+    ]
+    for fid in selected:
+        t0 = time.time()
+        run = run_figure(fid, scale)
+        sections.append(figure_markdown(run, scale, time.time() - t0))
+    out = Path(out_path)
+    out.write_text("\n".join(sections))
+    return out

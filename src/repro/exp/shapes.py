@@ -1,0 +1,130 @@
+"""Machine-checkable shape claims per figure.
+
+EXPERIMENTS.md states what each paper figure's *shape* is — who wins, the
+orderings, the trends.  This module encodes those claims as predicates
+over a :class:`~repro.exp.sweep.SweepResult` so the report generator can
+print a ✓/✗ line per claim next to the regenerated numbers (benchmarks
+assert the same claims independently, with their own tolerances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.exp.sweep import SweepResult
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeClaim:
+    """One qualitative claim about a figure's series."""
+
+    description: str
+    check: Callable[[SweepResult], bool]
+
+    def holds(self, sweep: SweepResult) -> bool:
+        return bool(self.check(sweep))
+
+
+def _mean(sweep: SweepResult, sched: str, metric: str) -> float:
+    return float(np.mean(sweep.series[sched][metric]))
+
+
+def _taps_leads(metric: str, slack: float = 1e-9) -> ShapeClaim:
+    return ShapeClaim(
+        description=f"TAPS leads every scheduler on mean {metric}",
+        check=lambda s: all(
+            _mean(s, "TAPS", metric) >= _mean(s, other, metric) - slack
+            for other in s.schedulers
+            if other != "TAPS"
+        ),
+    )
+
+
+def _trend(metric: str, rising: bool, tolerance: float = 0.1) -> ShapeClaim:
+    word = "rises" if rising else "falls"
+
+    def check(s: SweepResult) -> bool:
+        for sched in s.schedulers:
+            series = s.series[sched][metric]
+            delta = series[-1] - series[0]
+            if rising and delta < -tolerance:
+                return False
+            if not rising and delta > tolerance:
+                return False
+        return True
+
+    return ShapeClaim(
+        description=f"every scheduler's {metric} {word} along the sweep",
+        check=check,
+    )
+
+
+def _zero_waste(*scheds: str) -> ShapeClaim:
+    return ShapeClaim(
+        description=f"admission control wastes nothing ({', '.join(scheds)})",
+        check=lambda s: all(
+            _mean(s, sched, "wasted_bandwidth_ratio") <= 1e-9
+            for sched in scheds
+        ),
+    )
+
+
+_FS_WASTES_MOST = ShapeClaim(
+    description="Fair Sharing wastes the most bandwidth",
+    check=lambda s: _mean(s, "Fair Sharing", "wasted_bandwidth_ratio")
+    == max(_mean(s, x, "wasted_bandwidth_ratio") for x in s.schedulers),
+)
+
+#: claims per figure id (sweep figures only; fig14 is asserted in its bench)
+SHAPES: dict[str, tuple[ShapeClaim, ...]] = {
+    "fig6": (
+        _taps_leads("task_completion_ratio"),
+        _trend("task_completion_ratio", rising=True),
+    ),
+    "fig7": (
+        _taps_leads("task_completion_ratio"),
+        _trend("task_completion_ratio", rising=True),
+    ),
+    "fig8": (
+        _FS_WASTES_MOST,
+        _zero_waste("TAPS", "Varys"),
+    ),
+    "fig9": (
+        _taps_leads("task_completion_ratio"),
+        _trend("task_completion_ratio", rising=False),
+    ),
+    "fig10": (
+        ShapeClaim(
+            description="TAPS within noise of the best flow completion ratio",
+            check=lambda s: _mean(s, "TAPS", "flow_completion_ratio")
+            >= max(
+                _mean(s, x, "flow_completion_ratio") for x in s.schedulers
+            )
+            - 0.02,
+        ),
+        ShapeClaim(
+            description="PDQ beats Varys on flow completion (paper's contrast)",
+            check=lambda s: _mean(s, "PDQ", "flow_completion_ratio")
+            >= _mean(s, "Varys", "flow_completion_ratio"),
+        ),
+    ),
+    "fig11": (
+        _taps_leads("task_completion_ratio"),
+        _trend("task_completion_ratio", rising=False),
+    ),
+    "fig12": (
+        _taps_leads("task_completion_ratio"),
+        _trend("task_completion_ratio", rising=False),
+    ),
+}
+
+
+def check_shapes(figure_id: str, sweep: SweepResult) -> list[tuple[str, bool]]:
+    """Evaluate a figure's claims; returns ``(description, holds)`` pairs."""
+    return [
+        (claim.description, claim.holds(sweep))
+        for claim in SHAPES.get(figure_id, ())
+    ]

@@ -1,0 +1,87 @@
+"""Seed-level statistics over sweep results.
+
+`run_sweep` keeps every per-seed metric in ``SweepResult.raw``; this
+module turns those into mean ± confidence-interval series so medium/paper
+scale reports can state how stable an ordering is, not just its means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exp.sweep import SweepResult
+
+#: two-sided 95% t critical values for 1…30 degrees of freedom
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t95(df: int) -> float:
+    """95% two-sided Student-t critical value (normal beyond df=30)."""
+    if df < 1:
+        raise ValueError("need at least 2 samples for an interval")
+    return _T95[df - 1] if df <= len(_T95) else 1.96
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesStats:
+    """Per-sweep-point statistics of one scheduler × metric."""
+
+    mean: tuple[float, ...]
+    std: tuple[float, ...]
+    ci95: tuple[float, ...]
+    n: int
+
+
+def seed_stats(sweep: SweepResult, scheduler: str, metric: str) -> SeriesStats:
+    """Mean/std/95%-CI across seeds, aligned with ``sweep.param_values``."""
+    seeds = sorted({s for (sch, _, s) in sweep.raw if sch == scheduler})
+    if not seeds:
+        raise ValueError(f"no raw data for scheduler {scheduler!r}")
+    means, stds, cis = [], [], []
+    for value in sweep.param_values:
+        samples = np.array([
+            getattr(sweep.raw[(scheduler, value, s)], metric) for s in seeds
+        ])
+        m = float(samples.mean())
+        if len(samples) > 1:
+            sd = float(samples.std(ddof=1))
+            half = t95(len(samples) - 1) * sd / math.sqrt(len(samples))
+        else:
+            sd, half = 0.0, 0.0
+        means.append(m)
+        stds.append(sd)
+        cis.append(half)
+    return SeriesStats(
+        mean=tuple(means), std=tuple(stds), ci95=tuple(cis), n=len(seeds)
+    )
+
+
+def dominance_fraction(
+    sweep: SweepResult, winner: str, loser: str, metric: str
+) -> float:
+    """Fraction of (sweep point, seed) pairs where ``winner`` ≥ ``loser``.
+
+    1.0 means the ordering holds everywhere — the strongest statement a
+    shape reproduction can make without error bars on the paper's side.
+    """
+    pairs = 0
+    wins = 0
+    for (sch, value, seed), metrics in sweep.raw.items():
+        if sch != winner:
+            continue
+        other = sweep.raw.get((loser, value, seed))
+        if other is None:
+            continue
+        pairs += 1
+        if getattr(metrics, metric) >= getattr(other, metric) - 1e-12:
+            wins += 1
+    if pairs == 0:
+        raise ValueError("no comparable points")
+    return wins / pairs

@@ -1,0 +1,122 @@
+"""Parameter-sweep runner: schedulers × parameter values × seeds.
+
+One sweep reproduces one paper figure's x-axis.  For each (value, seed)
+the workload is generated once and replayed under every scheduler, so
+algorithms are compared on identical traffic (as in the paper); seeds are
+averaged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.summary import RunMetrics, summarize
+from repro.net.paths import PathService
+from repro.net.topology import Topology
+from repro.sched.registry import PAPER_ORDER, make_scheduler
+from repro.sim.engine import Engine
+from repro.workload.flow import Task
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Measured series for one figure.
+
+    ``series[scheduler][metric]`` is a list aligned with ``param_values``.
+    Raw per-seed metrics are kept in ``raw`` for statistical post-hoc use.
+    """
+
+    param_name: str
+    param_values: list[float]
+    schedulers: list[str]
+    series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    raw: dict[tuple[str, float, int], RunMetrics] = field(default_factory=dict)
+
+    def metric(self, scheduler: str, metric: str) -> list[float]:
+        return self.series[scheduler][metric]
+
+    def mean_over_values(self, scheduler: str, metric: str) -> float:
+        return float(np.mean(self.series[scheduler][metric]))
+
+    def to_csv(self, path, metric: str | None = None) -> None:
+        """Write the measured series as CSV.
+
+        With ``metric`` given: one row per scheduler, one column per
+        parameter value (the paper-table layout).  Without: the long
+        format — one row per (scheduler, value, seed, metric) from the
+        raw per-seed data, for downstream analysis tools.
+        """
+        import csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            if metric is not None:
+                writer.writerow([self.param_name] + self.param_values)
+                for s in self.schedulers:
+                    writer.writerow([s] + self.series[s][metric])
+                return
+            writer.writerow(
+                ["scheduler", self.param_name, "seed", "metric", "value"]
+            )
+            for (sched, value, seed), metrics in sorted(self.raw.items()):
+                for m, v in metrics.as_dict().items():
+                    if isinstance(v, (int, float)):
+                        writer.writerow([sched, value, seed, m, v])
+
+
+#: metrics published for every sweep point
+_METRICS = (
+    "task_completion_ratio",
+    "task_size_completion_ratio",
+    "flow_completion_ratio",
+    "application_throughput",
+    "wasted_bandwidth_ratio",
+    "task_wasted_ratio",
+)
+
+
+def run_sweep(
+    topology_factory: Callable[[], Topology],
+    workload_factory: Callable[[float, int], list[Task]],
+    param_name: str,
+    param_values: Sequence[float],
+    schedulers: Sequence[str] = PAPER_ORDER,
+    seeds: Sequence[int] = (1,),
+    max_paths: int | None = 8,
+) -> SweepResult:
+    """Run the full grid.
+
+    ``workload_factory(value, seed)`` builds the workload for one sweep
+    point; the topology (and its path cache) is shared across the grid.
+    """
+    topology = topology_factory()
+    paths = PathService(topology, max_paths=max_paths)
+    result = SweepResult(
+        param_name=param_name,
+        param_values=[float(v) for v in param_values],
+        schedulers=list(schedulers),
+    )
+    acc: dict[str, dict[str, list[list[float]]]] = {
+        s: {m: [[] for _ in param_values] for m in _METRICS} for s in schedulers
+    }
+    for vi, value in enumerate(param_values):
+        for seed in seeds:
+            tasks = workload_factory(float(value), int(seed))
+            for sched_name in schedulers:
+                engine = Engine(
+                    topology, tasks, make_scheduler(sched_name), path_service=paths
+                )
+                metrics = summarize(engine.run())
+                result.raw[(sched_name, float(value), int(seed))] = metrics
+                for m in _METRICS:
+                    acc[sched_name][m][vi].append(getattr(metrics, m))
+    for sched_name in schedulers:
+        result.series[sched_name] = {
+            m: [float(np.mean(vals)) for vals in acc[sched_name][m]]
+            for m in _METRICS
+        }
+    return result

@@ -1,0 +1,121 @@
+"""Scalar run metrics (paper §V-A definitions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+from repro.sim.engine import SimulationResult
+from repro.sim.state import FlowStatus, TaskOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class RunMetrics:
+    """All scalar metrics of one run.
+
+    ``wasted_bandwidth_ratio`` follows the paper's Fig. 8 definition:
+    bytes successfully transmitted by flows that nevertheless missed their
+    deadline (or were killed mid-flight), as a fraction of total task size.
+    ``task_wasted_ratio`` additionally counts bytes of flows that *did*
+    finish in time but whose task failed anyway — the intro's task-level
+    notion of waste.
+    """
+
+    scheduler: str
+    topology: str
+    num_tasks: int
+    num_flows: int
+    tasks_completed: int
+    flows_met: int
+    flows_rejected: int
+    flows_terminated: int
+    task_completion_ratio: float
+    flow_completion_ratio: float
+    application_throughput: float
+    wasted_bandwidth_ratio: float
+    task_wasted_ratio: float
+    total_bytes: float
+    useful_bytes: float
+    wasted_bytes: float
+    mean_task_completion_time: float = 0.0
+    """Mean time from arrival to last-flow completion over *fully
+    completed* tasks (deadline-met or not) — the metric Baraat and
+    Varys-SEBF optimise.  0.0 when no task fully completed."""
+    mean_flow_completion_time: float = 0.0
+    """Mean FCT over completed flows; 0.0 when none completed."""
+    task_size_completion_ratio: float = 0.0
+    """Bytes belonging to tasks completed before their deadlines / total
+    offered bytes — the paper's "task size completed before deadlines"
+    (abstract, §V-B's task-number vs task-size contrast).  Stricter than
+    ``application_throughput``: a flow's bytes only count if its *whole
+    task* made it."""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def summarize(result: SimulationResult) -> RunMetrics:
+    """Digest a :class:`~repro.sim.engine.SimulationResult` into scalars."""
+    flows = result.flow_states
+    tasks = result.task_states
+
+    total_bytes = sum(fs.flow.size for fs in flows)
+    useful_bytes = sum(fs.flow.size for fs in flows if fs.met_deadline)
+    # flow-level waste: bytes pushed by flows that did not meet the deadline
+    wasted_bytes = sum(fs.bytes_sent for fs in flows if not fs.met_deadline)
+    # task-level waste: every byte pushed for a task that ultimately failed
+    task_wasted = sum(
+        fs.bytes_sent
+        for ts in tasks
+        if ts.outcome is not TaskOutcome.COMPLETED
+        for fs in ts.flow_states
+    )
+
+    n_tasks = len(tasks)
+    n_flows = len(flows)
+    flows_met = sum(1 for fs in flows if fs.met_deadline)
+
+    fcts = [
+        fs.completed_at - fs.flow.release
+        for fs in flows
+        if fs.status is FlowStatus.COMPLETED and fs.completed_at is not None
+    ]
+    ccts = []
+    for ts in tasks:
+        ends = [
+            fs.completed_at
+            for fs in ts.flow_states
+            if fs.status is FlowStatus.COMPLETED and fs.completed_at is not None
+        ]
+        if len(ends) == len(ts.flow_states):  # every flow actually finished
+            ccts.append(max(ends) - ts.task.arrival)
+
+    return RunMetrics(
+        scheduler=result.scheduler_name,
+        topology=result.topology_name,
+        num_tasks=n_tasks,
+        num_flows=n_flows,
+        tasks_completed=result.tasks_completed,
+        flows_met=flows_met,
+        flows_rejected=sum(1 for fs in flows if fs.status is FlowStatus.REJECTED),
+        flows_terminated=sum(1 for fs in flows if fs.status is FlowStatus.TERMINATED),
+        task_completion_ratio=result.tasks_completed / n_tasks if n_tasks else 0.0,
+        flow_completion_ratio=flows_met / n_flows if n_flows else 0.0,
+        application_throughput=useful_bytes / total_bytes if total_bytes else 0.0,
+        wasted_bandwidth_ratio=wasted_bytes / total_bytes if total_bytes else 0.0,
+        task_wasted_ratio=task_wasted / total_bytes if total_bytes else 0.0,
+        total_bytes=total_bytes,
+        useful_bytes=useful_bytes,
+        wasted_bytes=wasted_bytes,
+        mean_task_completion_time=sum(ccts) / len(ccts) if ccts else 0.0,
+        mean_flow_completion_time=sum(fcts) / len(fcts) if fcts else 0.0,
+        task_size_completion_ratio=(
+            sum(
+                ts.task.total_size
+                for ts in tasks
+                if ts.outcome is TaskOutcome.COMPLETED
+            )
+            / total_bytes
+            if total_bytes
+            else 0.0
+        ),
+    )

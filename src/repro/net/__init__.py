@@ -1,0 +1,33 @@
+"""Network model: links, topologies, and path services.
+
+The paper evaluates on three physical networks; all are built here:
+
+* a three-level **single-rooted tree** (paper Fig. 5; §V-A) — unique paths,
+* a k-ary **fat-tree** (multi-rooted; §V-A uses k=32) — many equal-cost paths,
+* the **partial fat-tree testbed** of the implementation experiment
+  (paper Fig. 13) — 8 hosts across 4 racks and 2 pods.
+
+Arbitrary topologies can be supplied as networkx graphs through
+:class:`~repro.net.topology.Topology`.
+"""
+
+from repro.net.link import Link
+from repro.net.topology import Topology
+from repro.net.trees import SingleRootedTree
+from repro.net.fattree import FatTree
+from repro.net.bcube import BCube
+from repro.net.ficonn import FiConn
+from repro.net.testbed import PartialFatTreeTestbed
+from repro.net.paths import PathService, ecmp_hash
+
+__all__ = [
+    "Link",
+    "Topology",
+    "SingleRootedTree",
+    "FatTree",
+    "BCube",
+    "FiConn",
+    "PartialFatTreeTestbed",
+    "PathService",
+    "ecmp_hash",
+]

@@ -1,0 +1,143 @@
+"""BCube topology (Guo et al., SIGCOMM 2009) — cited by the paper (§II) as
+one of the rich-connected, multi-path architectures TAPS targets.
+
+``BCube(n, k)`` is server-centric:
+
+* servers are addressed by ``k+1`` base-``n`` digits ``a_k … a_1 a_0`` —
+  there are ``n^(k+1)`` of them;
+* at every level ``l ∈ 0…k`` there are ``n^k`` switches; switch
+  ``(l, rest)`` connects the ``n`` servers whose address equals ``rest``
+  with digit ``l`` struck out;
+* servers forward traffic (they have ``k+1`` ports); switches never
+  connect to other switches.
+
+Two servers differing in ``h`` digits are ``2h`` links apart; correcting
+the digits in any of the ``h!`` orders gives that many equal-length
+candidate paths (BCube's BSR exploits this diversity), enumerated here in
+closed form.
+
+Naming: servers ``s<digits>`` (e.g. ``s012``), switches ``w<l>_<rest>``.
+"""
+
+from __future__ import annotations
+
+from itertools import islice, permutations
+
+from repro.net.topology import Path, Topology
+from repro.util.errors import TopologyError
+
+
+class BCube(Topology):
+    """BCube(n, k) with closed-form digit-correction path enumeration.
+
+    Parameters
+    ----------
+    n:
+        Switch port count / servers per BCube_0 (>= 2).
+    k:
+        Levels minus one; servers have ``k+1`` ports. ``k=0`` is a single
+        switch with ``n`` servers.
+    capacity:
+        Uniform link capacity in bytes/s.
+    """
+
+    def __init__(self, n: int = 4, k: int = 1, capacity: float = 1e9 / 8.0) -> None:
+        if n < 2:
+            raise TopologyError(f"BCube n must be >= 2, got {n}")
+        if k < 0:
+            raise TopologyError(f"BCube k must be >= 0, got {k}")
+        super().__init__(name=f"bcube-n{n}-k{k}", default_capacity=capacity)
+        self.n = n
+        self.k = k
+
+        digits = k + 1
+        servers = [self._addr_to_name(self._int_to_addr(i)) for i in range(n**digits)]
+        for s in servers:
+            self.add_host(s)
+        for level in range(digits):
+            for rest_int in range(n**k):
+                rest = self._int_to_rest(rest_int)
+                sw = f"w{level}_{''.join(map(str, rest))}"
+                self.add_switch(sw)
+                for digit in range(n):
+                    addr = list(rest)
+                    addr.insert(digits - 1 - level, digit)
+                    self.add_cable(self._addr_to_name(tuple(addr)), sw)
+
+    # -- addressing helpers ------------------------------------------------------
+
+    def _int_to_addr(self, value: int) -> tuple[int, ...]:
+        digits = self.k + 1
+        out = []
+        for _ in range(digits):
+            out.append(value % self.n)
+            value //= self.n
+        return tuple(reversed(out))  # a_k … a_0
+
+    def _int_to_rest(self, value: int) -> tuple[int, ...]:
+        out = []
+        for _ in range(self.k):
+            out.append(value % self.n)
+            value //= self.n
+        return tuple(reversed(out))
+
+    @staticmethod
+    def _addr_to_name(addr: tuple[int, ...]) -> str:
+        return "s" + "".join(map(str, addr))
+
+    def _name_to_addr(self, server: str) -> tuple[int, ...]:
+        if not server.startswith("s"):
+            raise TopologyError(f"not a BCube server: {server!r}")
+        try:
+            addr = tuple(int(c) for c in server[1:])
+        except ValueError:
+            raise TopologyError(f"malformed server name {server!r}") from None
+        if len(addr) != self.k + 1 or any(d >= self.n for d in addr):
+            raise TopologyError(f"address out of range: {server!r}")
+        return addr
+
+    def switch_for(self, addr: tuple[int, ...], level: int) -> str:
+        """The level-``level`` switch adjacent to the server at ``addr``."""
+        digits = self.k + 1
+        rest = tuple(d for i, d in enumerate(addr) if i != digits - 1 - level)
+        return f"w{level}_{''.join(map(str, rest))}"
+
+    @property
+    def num_servers(self) -> int:
+        return self.n ** (self.k + 1)
+
+    # -- routing -------------------------------------------------------------------
+
+    def candidate_paths(self, src: str, dst: str, max_paths: int | None = None) -> list[Path]:
+        """All shortest digit-correction paths (one per correction order).
+
+        A path correcting digits ``l1, l2, …`` hops
+        ``src → switch(l1) → s' → switch(l2) → s'' → … → dst``; with ``h``
+        differing digits there are ``h!`` orders (capped by ``max_paths``).
+        """
+        if src == dst:
+            raise TopologyError(f"src == dst == {src!r}")
+        a, b = self._name_to_addr(src), self._name_to_addr(dst)
+        digits = self.k + 1
+        diff_levels = [
+            level
+            for level in range(digits)
+            if a[digits - 1 - level] != b[digits - 1 - level]
+        ]
+        orders = permutations(diff_levels)
+        if max_paths is not None:
+            orders = islice(orders, max_paths)
+        paths: list[Path] = []
+        for order in orders:
+            nodes = [src]
+            cur = list(a)
+            for level in order:
+                sw = self.switch_for(tuple(cur), level)
+                cur[digits - 1 - level] = b[digits - 1 - level]
+                nodes.append(sw)
+                nodes.append(self._addr_to_name(tuple(cur)))
+            paths.append(self.nodes_to_path(nodes))
+        return paths
+
+    def shortest_path(self, src: str, dst: str) -> Path:
+        return self.candidate_paths(src, dst, max_paths=1)[0]

@@ -1,0 +1,115 @@
+"""k-ary fat-tree topology (Al-Fares et al., SIGCOMM 2008; paper §V-A).
+
+Structure for even ``k``:
+
+* ``k`` pods; each pod has ``k/2`` edge switches and ``k/2`` aggregation
+  switches; each edge switch serves ``k/2`` hosts;
+* ``(k/2)²`` core switches; core switch ``(i, j)`` (``i, j < k/2``) connects
+  to aggregation switch ``j`` of **every** pod;
+* total hosts ``k³/4`` (paper's multi-rooted runs use k=32 → 8192 hosts).
+
+Between hosts in different pods there are ``(k/2)²`` equal-cost paths (one
+per core switch); within a pod but across edge switches, ``k/2`` paths (one
+per aggregation switch); within an edge switch, exactly one.
+
+Naming: hosts ``h{pod}_{edge}_{i}``, edge switches ``e{pod}_{j}``,
+aggregation ``a{pod}_{j}``, cores ``c{i}_{j}``.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Path, Topology
+from repro.util.errors import TopologyError
+
+
+class FatTree(Topology):
+    """k-ary fat-tree with closed-form multi-path enumeration.
+
+    Parameters
+    ----------
+    k:
+        Pod count; must be even and >= 2.
+    capacity:
+        Uniform link capacity in bytes/s.
+    """
+
+    def __init__(self, k: int = 4, capacity: float = 1e9 / 8.0) -> None:
+        if k < 2 or k % 2 != 0:
+            raise TopologyError(f"fat-tree k must be even and >= 2, got {k}")
+        super().__init__(name=f"fat-tree-k{k}", default_capacity=capacity)
+        self.k = k
+        half = k // 2
+
+        for i in range(half):
+            for j in range(half):
+                self.add_switch(f"c{i}_{j}")
+        for p in range(k):
+            for j in range(half):
+                agg = self.add_switch(f"a{p}_{j}")
+                # core row j connects to aggregation switch j of every pod
+                for i in range(half):
+                    self.add_cable(agg, f"c{i}_{j}")
+            for j in range(half):
+                edge = self.add_switch(f"e{p}_{j}")
+                for a in range(half):
+                    self.add_cable(edge, f"a{p}_{a}")
+                for i in range(half):
+                    host = self.add_host(f"h{p}_{j}_{i}")
+                    self.add_cable(host, edge)
+
+    @property
+    def num_hosts(self) -> int:
+        return self.k**3 // 4
+
+    def _host_coords(self, host: str) -> tuple[int, int, int]:
+        if not host.startswith("h"):
+            raise TopologyError(f"not a host of this fat-tree: {host!r}")
+        try:
+            p, e, i = (int(x) for x in host[1:].split("_"))
+        except ValueError:
+            raise TopologyError(f"malformed host name {host!r}") from None
+        return p, e, i
+
+    def candidate_paths(self, src: str, dst: str, max_paths: int | None = None) -> list[Path]:
+        """All equal-cost shortest paths, enumerated in closed form.
+
+        Ordering is deterministic (aggregation index, then core index) so
+        ECMP hashing and TAPS path search are reproducible.
+        """
+        if src == dst:
+            raise TopologyError(f"src == dst == {src!r}")
+        ps, es, _ = self._host_coords(src)
+        pd, ed, _ = self._host_coords(dst)
+        half = self.k // 2
+        paths: list[Path] = []
+
+        if (ps, es) == (pd, ed):
+            paths.append(self.nodes_to_path([src, f"e{ps}_{es}", dst]))
+            return paths
+
+        if ps == pd:
+            for a in range(half):
+                nodes = [src, f"e{ps}_{es}", f"a{ps}_{a}", f"e{pd}_{ed}", dst]
+                paths.append(self.nodes_to_path(nodes))
+                if max_paths is not None and len(paths) >= max_paths:
+                    return paths
+            return paths
+
+        for a in range(half):
+            for c in range(half):
+                nodes = [
+                    src,
+                    f"e{ps}_{es}",
+                    f"a{ps}_{a}",
+                    f"c{c}_{a}",
+                    f"a{pd}_{a}",
+                    f"e{pd}_{ed}",
+                    dst,
+                ]
+                paths.append(self.nodes_to_path(nodes))
+                if max_paths is not None and len(paths) >= max_paths:
+                    return paths
+        return paths
+
+    def shortest_path(self, src: str, dst: str) -> Path:
+        return self.candidate_paths(src, dst, max_paths=1)[0]

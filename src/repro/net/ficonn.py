@@ -1,0 +1,102 @@
+"""FiConn topology (Li et al., INFOCOM 2009) — the paper's third cited
+rich-connected architecture (§II), built from commodity servers' backup
+ports.
+
+Recursive construction:
+
+* ``FiConn_0`` is ``n`` servers (``n`` even) on one switch; every server's
+  backup port is free, so ``b_0 = n`` free ports.
+* ``FiConn_k`` is ``g_k = b_{k-1}/2 + 1`` copies of ``FiConn_{k-1}``,
+  pairwise connected: every pair of copies is joined by one *level-k
+  link* between two servers whose backup ports were still free.  Each
+  copy participates in ``g_k − 1 = b_{k-1}/2`` pairs, spending exactly
+  half its free ports, so ``b_k = g_k · b_{k-1}/2``.
+
+Server selection for level-k links is deterministic (lowest-indexed free
+servers first); the original paper fixes a choice by index arithmetic —
+any consistent choice yields an isomorphic network.
+
+Candidate paths use the generic equal-cost graph search of
+:class:`~repro.net.topology.Topology`: FiConn's own TOR routing is
+hierarchical, but for the scheduling experiments only the path sets
+matter and the FiConn instances used here are small.
+
+Naming: servers ``f<copies>_<idx>`` (e.g. ``f0.1_3`` = server 3 of copy 1
+inside copy 0), switches ``x<copies>``.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Topology
+from repro.util.errors import TopologyError
+
+
+def free_ports(n: int, k: int) -> int:
+    """``b_k``: free backup ports in a FiConn(n, k)."""
+    b = n
+    for _ in range(k):
+        g = b // 2 + 1
+        b = g * (b // 2)
+    return b
+
+
+def num_copies(n: int, k: int) -> int:
+    """``g_k``: FiConn_{k-1} copies inside a FiConn(n, k); 1 for k=0."""
+    if k == 0:
+        return 1
+    return free_ports(n, k - 1) // 2 + 1
+
+
+class FiConn(Topology):
+    """FiConn(n, k) built recursively from backup-port links.
+
+    Parameters
+    ----------
+    n:
+        Servers per FiConn_0 switch; must be even and >= 2.
+    k:
+        Recursion level; 0 gives a single switch.  Sizes grow fast:
+        FiConn(4, 1) = 3·4 = 12 servers, FiConn(4, 2) = 4·12 = 48,
+        FiConn(8, 1) = 5·8 = 40.
+    capacity:
+        Uniform link capacity in bytes/s.
+    """
+
+    def __init__(self, n: int = 4, k: int = 1, capacity: float = 1e9 / 8.0) -> None:
+        if n < 2 or n % 2 != 0:
+            raise TopologyError(f"FiConn n must be even and >= 2, got {n}")
+        if k < 0:
+            raise TopologyError(f"FiConn k must be >= 0, got {k}")
+        super().__init__(name=f"ficonn-n{n}-k{k}", default_capacity=capacity)
+        self.n = n
+        self.k = k
+        self.level_links: dict[int, list[tuple[str, str]]] = {
+            lvl: [] for lvl in range(1, k + 1)
+        }
+        self._build(copies=(), level=k)
+
+    def _build(self, copies: tuple[int, ...], level: int) -> list[str]:
+        """Construct one FiConn_level; return its servers with free ports."""
+        label = ".".join(map(str, copies)) if copies else "r"
+        if level == 0:
+            switch = self.add_switch(f"x{label}")
+            servers = []
+            for i in range(self.n):
+                s = self.add_host(f"f{label}_{i}")
+                self.add_cable(s, switch)
+                servers.append(s)
+            return servers
+
+        g = num_copies(self.n, level)
+        sub_free = [self._build(copies + (c,), level - 1) for c in range(g)]
+        for i in range(g):
+            for j in range(i + 1, g):
+                a = sub_free[i].pop(0)
+                b = sub_free[j].pop(0)
+                self.add_cable(a, b)
+                self.level_links[level].append((a, b))
+        return [s for free in sub_free for s in free]
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.hosts)

@@ -1,0 +1,43 @@
+"""Directed link model.
+
+Links are directed (full-duplex cables are two links) and identified by a
+dense integer index assigned by the owning :class:`~repro.net.topology.Topology`.
+Dense indices let schedulers keep per-link state in flat lists/arrays rather
+than dicts keyed by node pairs — the rate-allocation inner loops touch every
+link on every path of every active flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One directed link.
+
+    Attributes
+    ----------
+    index:
+        Dense id within the topology; stable for the topology's lifetime.
+    src, dst:
+        Endpoint node names (hosts or switches).
+    capacity:
+        Bytes per second.  The paper assumes uniform capacity (§IV-B);
+        the model permits heterogeneity but TAPS' expected-transmission-time
+        reduction requires uniformity, which the controller validates.
+    """
+
+    index: int
+    src: str
+    dst: str
+    capacity: float = field(default=1e9 / 8.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {self.capacity}")
+        if self.src == self.dst:
+            raise ValueError(f"self-loop link at node {self.src!r}")
+
+    def __repr__(self) -> str:
+        return f"Link({self.index}: {self.src}->{self.dst} @ {self.capacity:g} B/s)"

@@ -1,0 +1,75 @@
+"""Path services: cached candidate-path lookup and flow-level ECMP.
+
+Two consumers:
+
+* **TAPS** (paper Alg. 2) needs the full candidate path set between a
+  flow's endpoints to pick the earliest-completing one.
+* **Baselines** were "not naturally designed for multi-rooted tree
+  topologies", so the paper extends them with *flow-level ECMP* (§V-A):
+  each flow is hashed onto one of the equal-cost paths and stays there.
+
+Both are served by :class:`PathService`, which memoises per endpoint pair —
+in the paper's workloads tasks fan out from few sources, so the hit rate is
+high, and candidate enumeration on a k=32 fat-tree (256 paths) is worth
+caching.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Path, Topology
+
+
+def ecmp_hash(flow_id: int, src: str, dst: str, n_choices: int) -> int:
+    """Deterministic flow-level ECMP choice among ``n_choices`` paths.
+
+    A stand-in for the 5-tuple hash of a real switch: stable per flow,
+    well-spread across flows.  Uses Python's stable string/int hashing via a
+    Fowler–Noll–Vo-style mix so results do not depend on ``PYTHONHASHSEED``.
+    """
+    if n_choices <= 0:
+        raise ValueError("n_choices must be positive")
+    h = 2166136261
+    for token in (str(flow_id), src, dst):
+        for ch in token:
+            h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return h % n_choices
+
+
+class PathService:
+    """Memoised path lookup over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network to route on.
+    max_paths:
+        Cap on candidate paths returned per endpoint pair (``None`` = all).
+        Large fat-trees have (k/2)² candidates; TAPS' search is linear in
+        this, so experiments cap it (default 16 in the experiment configs).
+    """
+
+    def __init__(self, topology: Topology, max_paths: int | None = None) -> None:
+        self.topology = topology
+        self.max_paths = max_paths
+        self._cache: dict[tuple[str, str], list[Path]] = {}
+
+    def candidates(self, src: str, dst: str) -> list[Path]:
+        """Candidate path set for ``src -> dst`` (cached)."""
+        key = (src, dst)
+        paths = self._cache.get(key)
+        if paths is None:
+            paths = self.topology.candidate_paths(src, dst, max_paths=self.max_paths)
+            self._cache[key] = paths
+        return paths
+
+    def ecmp_path(self, flow_id: int, src: str, dst: str) -> Path:
+        """The single ECMP-selected path for a flow (flow-level ECMP, §V-A)."""
+        paths = self.candidates(src, dst)
+        return paths[ecmp_hash(flow_id, src, dst, len(paths))]
+
+    def cache_info(self) -> dict[str, int]:
+        """Diagnostics: number of cached endpoint pairs and total paths."""
+        return {
+            "pairs": len(self._cache),
+            "paths": sum(len(v) for v in self._cache.values()),
+        }

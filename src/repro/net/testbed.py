@@ -1,0 +1,64 @@
+"""The implementation-experiment testbed (paper Fig. 13).
+
+The paper's testbed is a *partial fat-tree*: 8 end hosts arranged across 4
+racks and two pods; each rack has a ToR (edge) switch connected to an
+aggregation switch; aggregation switches are joined by core switches.  All
+links are 1 Gbps (Gigabit NICs / H3C S5500 switches).
+
+We model it as the k=4 fat-tree restricted to 2 pods with 2 hosts per edge
+switch and 2 core switches — which matches the figure's drawing: 8 hosts,
+4 edge, 4 aggregation, 2 cores.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Path, Topology
+from repro.util.errors import TopologyError
+
+
+class PartialFatTreeTestbed(Topology):
+    """8-host partial fat-tree used for the Fig. 14 experiment."""
+
+    def __init__(self, capacity: float = 1e9 / 8.0) -> None:
+        super().__init__(name="partial-fat-tree-testbed", default_capacity=capacity)
+        for c in range(2):
+            self.add_switch(f"c{c}")
+        for p in range(2):
+            for a in range(2):
+                agg = self.add_switch(f"a{p}_{a}")
+                # aggregation switch a of each pod homes on core a
+                self.add_cable(agg, f"c{a}")
+            for e in range(2):
+                edge = self.add_switch(f"e{p}_{e}")
+                for a in range(2):
+                    self.add_cable(edge, f"a{p}_{a}")
+                for i in range(2):
+                    host = self.add_host(f"h{p}_{e}_{i}")
+                    self.add_cable(host, edge)
+
+    def candidate_paths(self, src: str, dst: str, max_paths: int | None = None) -> list[Path]:
+        """Closed-form enumeration mirroring :class:`~repro.net.fattree.FatTree`."""
+        if src == dst:
+            raise TopologyError(f"src == dst == {src!r}")
+        ps, es, _ = (int(x) for x in src[1:].split("_"))
+        pd, ed, _ = (int(x) for x in dst[1:].split("_"))
+        paths: list[Path] = []
+        if (ps, es) == (pd, ed):
+            return [self.nodes_to_path([src, f"e{ps}_{es}", dst])]
+        if ps == pd:
+            for a in range(2):
+                paths.append(
+                    self.nodes_to_path([src, f"e{ps}_{es}", f"a{ps}_{a}", f"e{pd}_{ed}", dst])
+                )
+                if max_paths is not None and len(paths) >= max_paths:
+                    return paths
+            return paths
+        for a in range(2):
+            nodes = [src, f"e{ps}_{es}", f"a{ps}_{a}", f"c{a}", f"a{pd}_{a}", f"e{pd}_{ed}", dst]
+            paths.append(self.nodes_to_path(nodes))
+            if max_paths is not None and len(paths) >= max_paths:
+                return paths
+        return paths
+
+    def shortest_path(self, src: str, dst: str) -> Path:
+        return self.candidate_paths(src, dst, max_paths=1)[0]

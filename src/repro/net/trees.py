@@ -1,0 +1,89 @@
+"""Single-rooted tree topology (paper Fig. 5).
+
+The paper's single-rooted simulations use a three-level tree: 40 servers per
+rack behind a ToR switch, 30 ToR switches per aggregation switch, 30
+aggregation switches under one core switch — 36,000 servers, all links
+1 Gbps.  The generator below is parameterised so tests and benches can use
+scaled-down instances with the same shape (oversubscription at every level).
+
+Naming: hosts are ``h{pod}_{rack}_{i}``, ToRs ``tor{pod}_{rack}``,
+aggregation switches ``agg{pod}``, and the root ``core``.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Path, Topology
+from repro.util.errors import TopologyError
+
+
+class SingleRootedTree(Topology):
+    """Three-level single-rooted tree with unique host-to-host paths.
+
+    Parameters
+    ----------
+    servers_per_rack, racks_per_pod, pods:
+        Fan-out at each level.  Paper values: 40 / 30 / 30.
+    capacity:
+        Uniform link capacity in bytes/s (paper: 1 Gbps).
+    """
+
+    def __init__(
+        self,
+        servers_per_rack: int = 40,
+        racks_per_pod: int = 30,
+        pods: int = 30,
+        capacity: float = 1e9 / 8.0,
+    ) -> None:
+        if min(servers_per_rack, racks_per_pod, pods) < 1:
+            raise TopologyError("all fan-outs must be >= 1")
+        super().__init__(
+            name=f"single-rooted-{servers_per_rack}x{racks_per_pod}x{pods}",
+            default_capacity=capacity,
+        )
+        self.servers_per_rack = servers_per_rack
+        self.racks_per_pod = racks_per_pod
+        self.pods = pods
+
+        self.add_switch("core")
+        for p in range(pods):
+            agg = self.add_switch(f"agg{p}")
+            self.add_cable(agg, "core")
+            for r in range(racks_per_pod):
+                tor = self.add_switch(f"tor{p}_{r}")
+                self.add_cable(tor, agg)
+                for i in range(servers_per_rack):
+                    host = self.add_host(f"h{p}_{r}_{i}")
+                    self.add_cable(host, tor)
+
+    # -- structured path computation (avoids graph search) --------------------
+
+    def _host_coords(self, host: str) -> tuple[int, int, int]:
+        """Parse ``h{pod}_{rack}_{i}`` into integer coordinates."""
+        if not host.startswith("h"):
+            raise TopologyError(f"not a host of this tree: {host!r}")
+        try:
+            p, r, i = (int(x) for x in host[1:].split("_"))
+        except ValueError:
+            raise TopologyError(f"malformed host name {host!r}") from None
+        return p, r, i
+
+    def host_path_nodes(self, src: str, dst: str) -> list[str]:
+        """Node sequence of the unique path between two hosts."""
+        ps, rs, _ = self._host_coords(src)
+        pd, rd, _ = self._host_coords(dst)
+        if src == dst:
+            raise TopologyError(f"src == dst == {src!r}")
+        up: list[str] = [src, f"tor{ps}_{rs}"]
+        if (ps, rs) == (pd, rd):
+            return up + [dst]
+        up.append(f"agg{ps}")
+        if ps == pd:
+            return up + [f"tor{pd}_{rd}", dst]
+        return up + ["core", f"agg{pd}", f"tor{pd}_{rd}", dst]
+
+    def shortest_path(self, src: str, dst: str) -> Path:
+        return self.nodes_to_path(self.host_path_nodes(src, dst))
+
+    def candidate_paths(self, src: str, dst: str, max_paths: int | None = None) -> list[Path]:
+        """The unique path (a tree has exactly one)."""
+        return [self.shortest_path(src, dst)]

@@ -1,0 +1,136 @@
+"""Hamiltonian-Circuit → single-link task scheduling (paper §IV-B).
+
+Construction, verbatim from the paper: given ``G = ⟨V, E⟩`` with
+``|V| = n``, each edge ``(v_i1, v_i2)`` becomes a task of four flows, each
+of size ``1/2``, all released at time zero on one link of capacity 1, with
+deadlines ``i1+1``, ``2n−i1``, ``i2+1`` and ``2n−i2``.  The claim: some
+``n`` tasks can all be completed iff ``G`` has a Hamiltonian circuit.
+
+Single-link scheduling of release-0 flows is solved exactly by EDF, so
+feasibility of a chosen edge subset reduces to the classic check
+``work(deadline ≤ d) ≤ d`` for every distinct deadline ``d``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.util.errors import ConfigurationError
+
+
+class ReductionTask:
+    """A task whose flows carry *individual* deadlines.
+
+    The paper's general model gives all flows of a task one deadline
+    (§IV-B: ``d_ij = d_i``), but its NP-hardness construction needs four
+    distinct deadlines per task — so the reduction uses this thin record
+    instead of :class:`~repro.workload.flow.Task`.
+    """
+
+    __slots__ = ("task_id", "flows")
+
+    def __init__(self, task_id: int, flows: list[tuple[float, float]]) -> None:
+        self.task_id = task_id
+        #: list of (size, deadline)
+        self.flows = flows
+
+    def __repr__(self) -> str:
+        return f"ReductionTask({self.task_id}, {self.flows})"
+
+
+def edge_task(task_id: int, i1: int, i2: int, n: int) -> ReductionTask:
+    """The 4-flow task for edge ``(v_i1, v_i2)`` of an ``n``-vertex graph."""
+    if not (0 <= i1 < n and 0 <= i2 < n):
+        raise ConfigurationError(f"vertex ids {i1},{i2} out of range for n={n}")
+    deadlines = (i1 + 1.0, 2.0 * n - i1, i2 + 1.0, 2.0 * n - i2)
+    return ReductionTask(task_id, [(0.5, d) for d in deadlines])
+
+
+def build_instance(graph: nx.Graph) -> list[ReductionTask]:
+    """All edge-tasks of a graph, with vertices renumbered 0..n-1."""
+    index = {v: i for i, v in enumerate(sorted(graph.nodes(), key=str))}
+    n = graph.number_of_nodes()
+    tasks = []
+    for t, (u, v) in enumerate(sorted(graph.edges(), key=str)):
+        i1, i2 = index[u], index[v]
+        deadlines = (i1 + 1.0, 2.0 * n - i1, i2 + 1.0, 2.0 * n - i2)
+        tasks.append(ReductionTask(t, [(0.5, d) for d in deadlines]))
+    return tasks
+
+
+def edf_feasible(tasks: list[ReductionTask]) -> bool:
+    """Whether every flow of every task meets its deadline on one unit link.
+
+    For same-release jobs on a single machine EDF is optimal, so the
+    subset is feasible iff for every deadline ``d``:
+    ``Σ size(flows with deadline ≤ d) ≤ d``.
+    """
+    flows = sorted(
+        (d, size) for t in tasks for (size, d) in t.flows
+    )
+    work = 0.0
+    for d, size in flows:
+        work += size
+        if work > d + 1e-9:
+            return False
+    return True
+
+
+def schedulable_subset_exists(tasks: list[ReductionTask], k: int) -> bool:
+    """Whether some ``k`` of the tasks are simultaneously feasible.
+
+    Exhaustive over subsets with a prefix-pruned recursion — exact, and
+    fine for the ≤ ~12-edge graphs the tests use (the whole point of the
+    reduction is that this blows up in general).
+    """
+    tasks = list(tasks)
+
+    def recurse(start: int, chosen: list[ReductionTask]) -> bool:
+        if len(chosen) == k:
+            return True
+        if len(chosen) + (len(tasks) - start) < k:
+            return False
+        for i in range(start, len(tasks)):
+            cand = chosen + [tasks[i]]
+            if edf_feasible(cand) and recurse(i + 1, cand):
+                return True
+        return False
+
+    return recurse(0, [])
+
+
+def has_hamiltonian_circuit(graph: nx.Graph) -> bool:
+    """Brute-force Hamiltonian circuit check (small graphs only)."""
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n < 3:
+        return False
+    first, rest = nodes[0], nodes[1:]
+    for perm in itertools.permutations(rest):
+        cycle = (first, *perm, first)
+        if all(graph.has_edge(a, b) for a, b in zip(cycle, cycle[1:])):
+            return True
+    return False
+
+
+def has_two_factor(graph: nx.Graph) -> bool:
+    """Whether some |V|-edge subset gives every vertex degree exactly 2.
+
+    This is what the paper's construction actually certifies (see the
+    package docstring); a Hamiltonian circuit is the connected special
+    case.
+    """
+    n = graph.number_of_nodes()
+    edges = list(graph.edges())
+    if len(edges) < n:
+        return False
+    for subset in itertools.combinations(edges, n):
+        deg: dict = {}
+        for u, v in subset:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        if len(deg) == n and all(d == 2 for d in deg.values()):
+            return True
+    return False

@@ -1,0 +1,41 @@
+"""Flow/task schedulers: the five baselines evaluated in the paper plus
+the shared scheduler contract.
+
+* :class:`~repro.sched.fair.FairSharing` — deadline/task-agnostic max-min
+  fair sharing (the TCP/RCP stand-in; §II, §V-A).
+* :class:`~repro.sched.d3.D3` — Deadline-Driven Delivery: per-flow rate
+  requests ``r = remaining / time-to-deadline`` granted greedily in FCFS
+  order (§II).
+* :class:`~repro.sched.pdq.PDQ` — Preemptive Distributed Quick flow
+  scheduling: EDF+SJF criticality, exclusive full-rate links, Early
+  Termination (§II).
+* :class:`~repro.sched.baraat.Baraat` — task-aware, deadline-agnostic FIFO
+  task order with SJF inside a task (§II).
+* :class:`~repro.sched.varys.Varys` — coflow-aware admission control with
+  ``r = s/d`` reservations, FIFO, no preemption (§II).
+
+TAPS itself lives in :mod:`repro.core` (it is the paper's contribution, not
+a baseline) but implements the same :class:`~repro.sched.base.Scheduler`
+contract, so the engine treats all six identically.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.fair import FairSharing
+from repro.sched.d2tcp import D2TCP
+from repro.sched.d3 import D3
+from repro.sched.pdq import PDQ
+from repro.sched.baraat import Baraat
+from repro.sched.varys import Varys
+from repro.sched.registry import SCHEDULERS, make_scheduler
+
+__all__ = [
+    "Scheduler",
+    "FairSharing",
+    "D2TCP",
+    "D3",
+    "PDQ",
+    "Baraat",
+    "Varys",
+    "SCHEDULERS",
+    "make_scheduler",
+]

@@ -1,0 +1,53 @@
+"""Scheduler registry: name → factory, for experiment configs and the CLI.
+
+The six names match the paper's figure legends exactly (including the
+paper's own "Barrat" typo being normalised to "Baraat").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.sched.base import Scheduler
+from repro.sched.baraat import Baraat
+from repro.sched.d2tcp import D2TCP
+from repro.sched.d3 import D3
+from repro.sched.fair import FairSharing
+from repro.sched.pdq import PDQ
+from repro.sched.varys import Varys
+from repro.util.errors import ConfigurationError
+
+
+def _taps() -> Scheduler:
+    # imported lazily: repro.core imports repro.sched.base
+    from repro.core.controller import TapsScheduler
+
+    return TapsScheduler()
+
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "Fair Sharing": FairSharing,
+    "D3": D3,
+    "PDQ": PDQ,
+    "Baraat": Baraat,
+    "Varys": Varys,
+    "TAPS": _taps,
+    "D2TCP": D2TCP,
+}
+
+#: the paper's canonical legend order (Fig. 6–12)
+PAPER_ORDER: tuple[str, ...] = ("Fair Sharing", "D3", "PDQ", "Baraat", "Varys", "TAPS")
+
+#: PAPER_ORDER plus the §II-discussed extension baselines built here
+EXTENDED_ORDER: tuple[str, ...] = PAPER_ORDER[:2] + ("D2TCP",) + PAPER_ORDER[2:]
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a fresh scheduler by figure-legend name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        ) from None
+    return factory()

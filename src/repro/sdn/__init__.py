@@ -1,0 +1,48 @@
+"""SDN substrate: the message-level protocol of paper §IV (Fig. 4).
+
+The fluid simulator treats TAPS as an oracle scheduler; this package
+models the *machinery* the paper builds around it:
+
+* :mod:`~repro.sdn.messages` — the probe / accept / reject / install /
+  withdraw / TERM message vocabulary exchanged among senders, the
+  controller, and switches;
+* :mod:`~repro.sdn.switch` — switches with bounded flow tables ("only the
+  first 1k entries are installed … flow table size … usually less than
+  2000 entries", §IV-C) that do nothing but forward;
+* :mod:`~repro.sdn.server` — the sender agent keeping per-flow state
+  (deadline, expected transmission time, allocated slices) and sending
+  exactly within its slices (§IV-D);
+* :mod:`~repro.sdn.protocol` — a driver that runs a workload through the
+  full message exchange and records the transcript, used by tests and the
+  protocol example to show the control plane is faithful to Fig. 4.
+"""
+
+from repro.sdn.messages import (
+    ProbePacket,
+    AcceptReply,
+    RejectReply,
+    UpdateReply,
+    InstallEntry,
+    WithdrawEntry,
+    TermPacket,
+    Message,
+)
+from repro.sdn.switch import FlowTable, SdnSwitch
+from repro.sdn.server import SenderAgent
+from repro.sdn.protocol import ProtocolDriver, ProtocolTranscript
+
+__all__ = [
+    "Message",
+    "ProbePacket",
+    "AcceptReply",
+    "RejectReply",
+    "UpdateReply",
+    "InstallEntry",
+    "WithdrawEntry",
+    "TermPacket",
+    "FlowTable",
+    "SdnSwitch",
+    "SenderAgent",
+    "ProtocolDriver",
+    "ProtocolTranscript",
+]

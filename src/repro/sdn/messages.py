@@ -1,0 +1,101 @@
+"""Message vocabulary of the TAPS control plane (paper Fig. 4).
+
+The numbered steps in Fig. 4 map to these records:
+
+2. servers → controller: :class:`ProbePacket` with task info
+   ``⟨Src, Dst, s, d⟩`` per flow;
+4A. controller → switches: :class:`InstallEntry` forwarding rules;
+4B. controller → senders: :class:`AcceptReply` with pre-allocated time
+    slices;
+5.  controller → senders: :class:`RejectReply` ("discard this task");
+―   senders → controller: :class:`TermPacket` when a flow completes
+    (§IV-D), triggering :class:`WithdrawEntry` to the switches (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.intervals import IntervalSet
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: every message is timestamped and attributable."""
+
+    time: float
+    sender: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProbePacket(Message):
+    """Scheduling header sent to the controller when a task arrives.
+
+    Carries the task-related variables of §IV-D: one entry per flow with
+    source/destination ids, flow size, and deadline.
+    """
+
+    task_id: int
+    flow_ids: tuple[int, ...]
+    srcs: tuple[str, ...]
+    dsts: tuple[str, ...]
+    sizes: tuple[float, ...]
+    deadline: float
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptReply(Message):
+    """Controller → sender: the task is accepted; transmit in these slices."""
+
+    task_id: int
+    flow_id: int
+    slices: IntervalSet
+    path_nodes: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateReply(Message):
+    """Controller → sender: an in-flight flow's allocation moved.
+
+    Alg. 1's global reallocation can re-slice (and re-route) flows that
+    were already accepted; the controller must push the new pre-allocation
+    to the sender, or it would keep transmitting on the stale plan.
+    """
+
+    flow_id: int
+    slices: IntervalSet
+    path_nodes: tuple[str, ...]
+    rerouted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class RejectReply(Message):
+    """Controller → senders: discard the task (Fig. 4 step 5)."""
+
+    task_id: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class InstallEntry(Message):
+    """Controller → switch: install a forwarding entry for one flow."""
+
+    switch: str
+    flow_id: int
+    out_port: str  # next-hop node name
+
+
+@dataclass(frozen=True, slots=True)
+class WithdrawEntry(Message):
+    """Controller → switch: remove the entry after completion/miss."""
+
+    switch: str
+    flow_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class TermPacket(Message):
+    """Sender → controller: the flow has been completed (§IV-D)."""
+
+    flow_id: int
+    completed_at: float

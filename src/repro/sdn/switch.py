@@ -1,0 +1,84 @@
+"""TAPS switches: dumb forwarding with a bounded flow table (paper §IV-C/E).
+
+"The switches in TAPS do not need any modification … only need to take
+charge of the data forwarding" — so the switch model is a flow table plus
+a forward lookup.  The table enforces the §IV-C constraint that "the flow
+table size of an SDN switch is very limited (usually less than 2000
+entries), only the first 1k entries are installed on a particular switch."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+
+
+class FlowTable:
+    """Bounded match→action table.
+
+    Parameters
+    ----------
+    capacity:
+        Hardware table size (paper: "usually less than 2000 entries").
+    install_limit:
+        Controller-imposed cap on entries it will install ("only the
+        first 1k entries"); must not exceed ``capacity``.
+    """
+
+    def __init__(self, capacity: int = 2000, install_limit: int = 1000) -> None:
+        if install_limit > capacity:
+            raise ConfigurationError(
+                f"install_limit {install_limit} exceeds table capacity {capacity}"
+            )
+        self.capacity = capacity
+        self.install_limit = install_limit
+        self._entries: dict[int, str] = {}
+        self.rejected_installs = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def install(self, flow_id: int, out_port: str) -> bool:
+        """Install an entry; returns False when the install limit is hit."""
+        if flow_id in self._entries:
+            self._entries[flow_id] = out_port
+            return True
+        if len(self._entries) >= self.install_limit:
+            self.rejected_installs += 1
+            return False
+        self._entries[flow_id] = out_port
+        return True
+
+    def withdraw(self, flow_id: int) -> bool:
+        """Remove an entry; returns whether it existed."""
+        return self._entries.pop(flow_id, None) is not None
+
+    def lookup(self, flow_id: int) -> str | None:
+        return self._entries.get(flow_id)
+
+    def utilization(self) -> float:
+        return len(self._entries) / self.install_limit if self.install_limit else 0.0
+
+
+@dataclass(slots=True)
+class SdnSwitch:
+    """One forwarding element.
+
+    Counts forwarded and dropped lookups so tests can assert that data
+    only ever flows along controller-installed routes.
+    """
+
+    name: str
+    table: FlowTable = field(default_factory=FlowTable)
+    forwarded: int = 0
+    dropped: int = 0
+
+    def forward(self, flow_id: int) -> str | None:
+        """Next hop for a packet of ``flow_id``; None = dropped."""
+        nxt = self.table.lookup(flow_id)
+        if nxt is None:
+            self.dropped += 1
+        else:
+            self.forwarded += 1
+        return nxt

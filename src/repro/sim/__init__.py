@@ -1,0 +1,28 @@
+"""Event-driven fluid (flow-level) network simulator.
+
+The paper evaluates every scheduler with "flow-level simulations" (§V): no
+packets, no queues — each flow has a size and progresses at a rate set by
+the scheduling policy; the engine advances time from event to event
+(task arrivals, flow completions, deadline expiries, scheduler-initiated
+rate changes) integrating progress in between.
+
+The engine is policy-agnostic: schedulers implement
+:class:`repro.sched.base.Scheduler` and own all admission/rate decisions.
+"""
+
+from repro.sim.state import FlowState, FlowStatus, TaskState, TaskOutcome
+from repro.sim.engine import Engine, SimulationResult
+from repro.sim.faults import FaultSchedule, LinkFault
+from repro.sim.packet import PacketSimulator
+
+__all__ = [
+    "Engine",
+    "SimulationResult",
+    "FlowState",
+    "FlowStatus",
+    "TaskState",
+    "TaskOutcome",
+    "FaultSchedule",
+    "LinkFault",
+    "PacketSimulator",
+]

@@ -1,0 +1,337 @@
+"""The fluid simulation engine.
+
+Time advances from event to event; between events every flow's rate is
+constant, so progress integrates exactly.  Event kinds:
+
+* **task arrival** — the scheduler admits/rejects and (re)allocates;
+* **flow completion** — earliest ``remaining / rate`` among active flows;
+* **deadline expiry** — the scheduler reacts (quit, kill, or ignore);
+* **scheduler change point** — e.g. a TAPS time-slice boundary.
+
+The engine never decides policy: admission, routing, rates, and reactions
+to deadline misses all live in the attached
+:class:`~repro.sched.base.Scheduler`.
+
+Performance: rates are recomputed only when the allocation is *dirty*
+(arrival / completion / kill / scheduler change point), so long quiet
+stretches cost one ``min`` scan each, per the HPC guide's "recompute only
+what changed".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.net.paths import PathService
+from repro.net.topology import Topology
+from repro.sim.state import FlowState, FlowStatus, TaskState, TaskOutcome
+from repro.util.errors import SimulationError
+from repro.util.intervals import EPS
+from repro.workload.flow import Task
+
+BYTES_REL_EPS = 1e-5
+"""A flow is complete when its residue drops below this fraction of its
+size.  The residue comes from two sources: float rounding in ``rate * dt``
+integration (~1e-16 relative) and the ±EPS slice-edge probing of the TAPS
+sender model (≤ a few bytes on a 200 KB flow, ~1e-5 relative)."""
+
+BYTES_ABS_EPS = 1e-9
+"""Absolute floor of the completion tolerance, for unit-sized toy flows."""
+
+
+def _done(remaining: float, size: float) -> bool:
+    return remaining <= max(BYTES_ABS_EPS, BYTES_REL_EPS * size)
+
+
+@dataclass(slots=True)
+class EngineCounters:
+    """Work counters for benchmarking the simulation itself."""
+
+    events: int = 0
+    arrivals: int = 0
+    completions: int = 0
+    deadline_events: int = 0
+    rate_recomputes: int = 0
+    stalled_kills: int = 0
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything a run produced, for the metrics layer to digest."""
+
+    scheduler_name: str
+    topology_name: str
+    flow_states: list[FlowState]
+    task_states: list[TaskState]
+    finished_at: float
+    counters: EngineCounters = field(default_factory=EngineCounters)
+
+    @property
+    def tasks_completed(self) -> int:
+        return sum(1 for ts in self.task_states if ts.outcome is TaskOutcome.COMPLETED)
+
+    @property
+    def flows_met(self) -> int:
+        return sum(1 for fs in self.flow_states if fs.met_deadline)
+
+
+class Engine:
+    """Runs one workload under one scheduler on one topology.
+
+    Parameters
+    ----------
+    topology:
+        The network; paths come from ``path_service`` (constructed with
+        defaults when omitted).
+    tasks:
+        Workload; any order (sorted internally by arrival, then id).
+    scheduler:
+        A :class:`~repro.sched.base.Scheduler`; :meth:`run` attaches it.
+    path_service:
+        Shared path cache; pass one when sweeping many runs on a topology.
+    hooks:
+        Objects with optional ``on_advance(t0, t1, flows)``,
+        ``on_flow_settled(fs, now)``, ``on_task_settled(ts, now)``
+        callbacks (see :mod:`repro.metrics.timeseries`).
+    max_events:
+        Safety valve against runaway loops; ``SimulationError`` when hit.
+    horizon:
+        Optional hard stop (seconds): at this time every still-active
+        flow is terminated and the run settles.  Useful for fixed-window
+        measurements of deadline-oblivious policies whose doomed flows
+        would otherwise run long past every deadline.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        tasks: list[Task],
+        scheduler,
+        path_service: PathService | None = None,
+        hooks: tuple = (),
+        max_events: int = 10_000_000,
+        faults=None,
+        horizon: float | None = None,
+    ) -> None:
+        from repro.sim.faults import FaultSchedule
+
+        self.topology = topology
+        self.path_service = path_service or PathService(topology)
+        self.scheduler = scheduler
+        self.hooks = hooks
+        self.max_events = max_events
+        if horizon is not None and horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        self.horizon = horizon
+        if faults is None:
+            self.faults = FaultSchedule([])
+        elif isinstance(faults, FaultSchedule):
+            self.faults = faults
+        else:
+            self.faults = FaultSchedule(list(faults))
+
+        self._arrivals: list[TaskState] = []
+        self.flow_states: list[FlowState] = []
+        self.task_states: list[TaskState] = []
+        for task in sorted(tasks, key=lambda t: (t.arrival, t.task_id)):
+            ts = TaskState(task=task)
+            ts.flow_states = [FlowState(flow=f) for f in task.flows]
+            self._arrivals.append(ts)
+            self.task_states.append(ts)
+            self.flow_states.extend(ts.flow_states)
+        self._task_by_id = {ts.task.task_id: ts for ts in self.task_states}
+        self.counters = EngineCounters()
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to quiescence and return the result.
+
+        Single-shot: flow/task states are consumed by the run, so a second
+        ``run()`` on the same engine raises — build a fresh Engine (state
+        construction is cheap; workloads are immutable and reusable).
+        """
+        if getattr(self, "_ran", False):
+            raise SimulationError(
+                "Engine.run() is single-shot; construct a new Engine to replay"
+            )
+        self._ran = True
+        sched = self.scheduler
+        sched.attach(self.topology, self.path_service)
+
+        now = 0.0
+        next_arrival_idx = 0
+        active: list[FlowState] = []
+        unsettled_tasks: set[int] = set()
+        dirty = True
+        down_links: set[int] = set()
+
+        while True:
+            self.counters.events += 1
+            if self.counters.events > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events} at t={now:g}"
+                )
+
+            # hard horizon: terminate everything still running
+            if self.horizon is not None and now >= self.horizon - EPS:
+                for fs in active:
+                    fs.kill(FlowStatus.TERMINATED)
+                active.clear()
+                self._settle_tasks(unsettled_tasks, now)
+                break
+
+            # 1. deliver arrivals due now
+            while (
+                next_arrival_idx < len(self._arrivals)
+                and self._arrivals[next_arrival_idx].task.arrival <= now + EPS
+            ):
+                ts = self._arrivals[next_arrival_idx]
+                next_arrival_idx += 1
+                self.counters.arrivals += 1
+                sched.on_task_arrival(ts, now)
+                unsettled_tasks.add(ts.task.task_id)
+                for fs in ts.flow_states:
+                    if fs.active:
+                        active.append(fs)
+                dirty = True
+
+            # 2. deadline expiries due now (notify each flow once)
+            for fs in active:
+                if (
+                    fs.active
+                    and not fs.deadline_notified
+                    and fs.flow.deadline <= now + EPS
+                    and not _done(fs.remaining, fs.flow.size)
+                ):
+                    fs.deadline_notified = True
+                    self.counters.deadline_events += 1
+                    sched.on_deadline_expired(fs, now)
+                    if not fs.active:
+                        dirty = True
+
+            active = [fs for fs in active if fs.active]
+
+            # 2b. fault transitions: notify the scheduler, then physically
+            # stop transmission across down links below
+            if self.faults:
+                current_down = self.faults.down_links(now)
+                if current_down != down_links:
+                    down_links = current_down
+                    on_change = getattr(sched, "on_link_state_change", None)
+                    if on_change is not None:
+                        on_change(frozenset(down_links), now)
+                    dirty = True
+
+            # 3. (re)compute rates
+            if dirty:
+                self.counters.rate_recomputes += 1
+                sched.assign_rates(now)
+                # physics: a down link carries nothing, whatever was asked
+                if down_links:
+                    for fs in active:
+                        if fs.rate > 0 and fs.path is not None and any(
+                            l in down_links for l in fs.path
+                        ):
+                            fs.rate = 0.0
+                dirty = False
+
+            # 4. choose the next event time
+            t_next = math.inf
+            if self.faults:
+                fb = self.faults.next_boundary(now)
+                if fb is not None:
+                    t_next = fb
+            if next_arrival_idx < len(self._arrivals):
+                t_next = min(t_next, self._arrivals[next_arrival_idx].task.arrival)
+            for fs in active:
+                if fs.rate > 0:
+                    t_next = min(t_next, now + fs.remaining / fs.rate)
+                if fs.flow.deadline > now + EPS:
+                    t_next = min(t_next, fs.flow.deadline)
+            t_sched = sched.next_change(now)
+            if t_sched is not None and t_sched > now + EPS:
+                t_next = min(t_next, t_sched)
+            if self.horizon is not None:
+                t_next = min(t_next, self.horizon)
+
+            if not math.isfinite(t_next):
+                # Nothing will ever happen again.  Any still-active flow is
+                # stalled (rate 0 forever): kill it so the run terminates.
+                for fs in active:
+                    fs.kill(FlowStatus.TERMINATED)
+                    self.counters.stalled_kills += 1
+                active.clear()
+                self._settle_tasks(unsettled_tasks, now)
+                break
+
+            # guard against zero-length steps looping forever
+            t_next = max(t_next, now)
+
+            # 5. integrate progress over [now, t_next)
+            dt = t_next - now
+            if dt > 0:
+                for fs in active:
+                    fs.advance(dt)
+                for hook in self.hooks:
+                    on_advance = getattr(hook, "on_advance", None)
+                    if on_advance is not None:
+                        on_advance(now, t_next, active)
+            prev_now = now
+            now = t_next
+            if now <= prev_now and dt == 0 and not dirty:
+                # A scheduler change point at 'now' that changed nothing;
+                # treat the allocation as dirty to force progress next turn.
+                dirty = True
+
+            # 6. settle completions
+            still_active: list[FlowState] = []
+            for fs in active:
+                if fs.active and _done(fs.remaining, fs.flow.size):
+                    fs.finish(now)
+                    self.counters.completions += 1
+                    sched.on_flow_completed(fs, now)
+                    for hook in self.hooks:
+                        cb = getattr(hook, "on_flow_settled", None)
+                        if cb is not None:
+                            cb(fs, now)
+                    dirty = True
+                elif fs.active:
+                    still_active.append(fs)
+                else:
+                    dirty = True  # killed by a callback during this step
+            active = still_active
+
+            # mark a scheduler change point as needing a rate refresh
+            if t_sched is not None and abs(now - t_sched) <= EPS:
+                dirty = True
+
+            self._settle_tasks(unsettled_tasks, now)
+
+        result = SimulationResult(
+            scheduler_name=getattr(sched, "name", type(sched).__name__),
+            topology_name=self.topology.name,
+            flow_states=self.flow_states,
+            task_states=self.task_states,
+            finished_at=now,
+            counters=self.counters,
+        )
+        return result
+
+    # -- helpers -----------------------------------------------------------
+
+    def _settle_tasks(self, unsettled: set[int], now: float) -> None:
+        """Finalize tasks whose flows have all reached a terminal status."""
+        done: list[int] = []
+        for tid in unsettled:
+            ts = self._task_by_id[tid]
+            if all(not fs.active for fs in ts.flow_states):
+                ts.settle()
+                done.append(tid)
+                for hook in self.hooks:
+                    cb = getattr(hook, "on_task_settled", None)
+                    if cb is not None:
+                        cb(ts, now)
+        for tid in done:
+            unsettled.discard(tid)

@@ -1,0 +1,101 @@
+"""Empirical and heavy-tailed samplers for realistic workload shapes.
+
+The paper's §V-A uses a normal flow-size distribution; real data center
+measurements (the DCTCP/Baraat traces its related work cites) are heavy
+tailed.  This module provides:
+
+* :class:`EmpiricalCDF` — inverse-transform sampling from a piecewise-
+  linear CDF given as (value, probability) knots, the standard way
+  published trace CDFs are digitised;
+* :func:`bounded_pareto` — the classic heavy-tail model for flow sizes;
+* :data:`WEB_SEARCH_SIZE_CDF` / :data:`DATA_MINING_SIZE_CDF` — widely
+  used flow-size CDFs (digitised from the DCTCP and VL2 papers'
+  published curves) for drop-in realistic workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+class EmpiricalCDF:
+    """Piecewise-linear inverse-CDF sampler.
+
+    Parameters
+    ----------
+    knots:
+        ``(value, cum_prob)`` pairs; probabilities must start at 0, end
+        at 1, and both coordinates must be non-decreasing.
+    """
+
+    def __init__(self, knots: list[tuple[float, float]]) -> None:
+        if len(knots) < 2:
+            raise ConfigurationError("need at least two CDF knots")
+        values = np.array([v for v, _ in knots], dtype=float)
+        probs = np.array([p for _, p in knots], dtype=float)
+        if probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ConfigurationError("CDF must span probability 0..1")
+        if np.any(np.diff(probs) < 0) or np.any(np.diff(values) < 0):
+            raise ConfigurationError("CDF knots must be non-decreasing")
+        self.values = values
+        self.probs = probs
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` values by inverse-transform sampling."""
+        u = rng.random(size)
+        return np.interp(u, self.probs, self.values)
+
+    def mean(self, n: int = 200_001) -> float:
+        """Numeric mean of the distribution (trapezoid over the inverse CDF)."""
+        u = np.linspace(0.0, 1.0, n)
+        return float(np.trapezoid(np.interp(u, self.probs, self.values), u))
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0,1], got {q}")
+        return float(np.interp(q, self.probs, self.values))
+
+
+def bounded_pareto(
+    rng: np.random.Generator,
+    size: int,
+    alpha: float = 1.2,
+    lo: float = 1e3,
+    hi: float = 1e8,
+) -> np.ndarray:
+    """Bounded Pareto draws (heavy-tailed flow sizes)."""
+    if not (alpha > 0 and 0 < lo < hi):
+        raise ConfigurationError("need alpha > 0 and 0 < lo < hi")
+    u = rng.random(size)
+    la, ha = lo**alpha, hi**alpha
+    return (-(u * (ha - la) - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+#: Web-search flow sizes (DCTCP, Fig. 4 there): mostly small queries with
+#: a heavy background-flow tail; knots in bytes.
+WEB_SEARCH_SIZE_CDF = EmpiricalCDF([
+    (6e3, 0.00),
+    (10e3, 0.15),
+    (20e3, 0.30),
+    (50e3, 0.50),
+    (100e3, 0.60),
+    (300e3, 0.70),
+    (1e6, 0.80),
+    (3e6, 0.90),
+    (10e6, 0.97),
+    (30e6, 1.00),
+])
+
+#: Data-mining flow sizes (VL2-style): even heavier tail.
+DATA_MINING_SIZE_CDF = EmpiricalCDF([
+    (1e2, 0.00),
+    (1e3, 0.25),
+    (1e4, 0.50),
+    (1e5, 0.65),
+    (1e6, 0.80),
+    (1e7, 0.90),
+    (1e8, 0.98),
+    (1e9, 1.00),
+])

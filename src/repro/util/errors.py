@@ -1,0 +1,28 @@
+"""Exception hierarchy for the TAPS reproduction.
+
+All package-raised exceptions derive from :class:`ReproError` so callers can
+catch everything originating here with one handler while still letting
+programming errors (``TypeError`` et al.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an endpoint/link lookup failed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class AllocationError(ReproError):
+    """Time-slice or rate allocation failed an internal invariant."""

@@ -1,0 +1,45 @@
+"""Unit constants for the simulation's canonical units.
+
+The simulator works in **seconds**, **bytes**, and **bytes per second**.
+These constants let experiment configurations read like the paper's prose:
+
+>>> from repro.util.units import KB, ms, Gbps
+>>> mean_flow_size = 200 * KB
+>>> mean_deadline = 40 * ms
+>>> link_capacity = 1 * Gbps
+
+Network rates follow telecom convention (1 Gbps = 1e9 bits/s = 1.25e8
+bytes/s); sizes follow the paper's KB/MB usage (decimal, 1 KB = 1000 bytes —
+the distinction is immaterial to the reproduction's shapes but is kept
+consistent everywhere).
+"""
+
+from __future__ import annotations
+
+# --- sizes (bytes) -------------------------------------------------------
+KB: float = 1_000.0
+MB: float = 1_000_000.0
+GB: float = 1_000_000_000.0
+
+# --- times (seconds) -----------------------------------------------------
+seconds: float = 1.0
+ms: float = 1e-3
+us: float = 1e-6
+
+# --- rates (bytes / second) ----------------------------------------------
+Mbps: float = 1e6 / 8.0
+Gbps: float = 1e9 / 8.0
+
+
+def transmission_time(size_bytes: float, rate_bytes_per_s: float) -> float:
+    """Time to push ``size_bytes`` through a link of the given rate.
+
+    This is the paper's "expected transmission time" ``E_ij`` (§IV-B): with
+    uniform link capacity every flow can always run at the full link rate,
+    so size and duration are interchangeable.
+    """
+    if rate_bytes_per_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bytes_per_s!r}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes!r}")
+    return size_bytes / rate_bytes_per_s

@@ -1,0 +1,6 @@
+"""Text rendering of schedules: Gantt charts of flow slices and per-link
+occupancy, in the style of the paper's Fig. 1/2 throughput diagrams."""
+
+from repro.viz.gantt import render_flow_gantt, render_link_gantt
+
+__all__ = ["render_flow_gantt", "render_link_gantt"]

@@ -1,0 +1,94 @@
+"""ASCII Gantt charts of TAPS allocations.
+
+The paper's motivation figures (Figs. 1–3) draw bottleneck-link occupancy
+over time; these renderers reproduce that view from a set of committed
+:class:`~repro.core.allocation.FlowPlan`\\ s — one row per flow, or one
+row per link — so examples and notebooks can *show* a schedule instead of
+describing it.
+
+Characters: ``█`` = transmitting, ``·`` = idle, ``|`` = the flow's
+deadline falling inside that cell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.allocation import FlowPlan
+from repro.util.intervals import IntervalSet
+
+
+def _grid(span: tuple[float, float], width: int) -> list[float]:
+    t0, t1 = span
+    step = (t1 - t0) / width
+    return [t0 + i * step for i in range(width + 1)]
+
+
+def _row(slices: IntervalSet, grid: list[float], deadline: float | None) -> str:
+    cells = []
+    for a, b in zip(grid, grid[1:]):
+        mid = (a + b) / 2
+        ch = "█" if slices.contains(mid) else "·"
+        if deadline is not None and a <= deadline < b:
+            ch = "|"
+        cells.append(ch)
+    return "".join(cells)
+
+
+def render_flow_gantt(
+    plans: Iterable[FlowPlan],
+    width: int = 60,
+    span: tuple[float, float] | None = None,
+    labels: Mapping[int, str] | None = None,
+) -> str:
+    """One row per flow: its allocated transmission slices over time.
+
+    ``labels`` optionally maps flow ids to display names; by default rows
+    are labelled ``f<task>.<flow>``.
+    """
+    plans = list(plans)
+    if not plans:
+        return "(no plans)"
+    if span is None:
+        lo = min(p.slices.start() for p in plans if p.slices)
+        hi = max(
+            max(p.completion for p in plans),
+            max(p.flow_state.flow.deadline for p in plans),
+        )
+        span = (min(lo, 0.0), hi * 1.02)
+    grid = _grid(span, width)
+    name_w = 0
+    rows = []
+    for p in sorted(plans, key=lambda p: p.flow_state.flow.flow_id):
+        f = p.flow_state.flow
+        label = (labels or {}).get(f.flow_id, f"f{f.task_id}.{f.flow_id}")
+        name_w = max(name_w, len(label))
+        rows.append((label, _row(p.slices, grid, f.deadline), p.meets_deadline))
+    lines = [
+        f"t ∈ [{span[0]:g}, {span[1]:g})   █ transmit   · idle   | deadline"
+    ]
+    for label, row, ok in rows:
+        mark = " " if ok else " MISS"
+        lines.append(f"{label.rjust(name_w)} {row}{mark}")
+    return "\n".join(lines)
+
+
+def render_link_gantt(
+    occupancy: Mapping[str, IntervalSet],
+    width: int = 60,
+    span: tuple[float, float] | None = None,
+) -> str:
+    """One row per link: its occupied time (the ledger's ``O_x`` sets)."""
+    items = [(name, occ) for name, occ in occupancy.items() if occ]
+    if not items:
+        return "(all links idle)"
+    if span is None:
+        lo = min(occ.start() for _, occ in items)
+        hi = max(occ.end() for _, occ in items)
+        span = (min(lo, 0.0), hi * 1.02)
+    grid = _grid(span, width)
+    name_w = max(len(name) for name, _ in items)
+    lines = [f"t ∈ [{span[0]:g}, {span[1]:g})   █ occupied   · idle"]
+    for name, occ in sorted(items):
+        lines.append(f"{name.rjust(name_w)} {_row(occ, grid, None)}")
+    return "\n".join(lines)

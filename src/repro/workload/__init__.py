@@ -1,0 +1,29 @@
+"""Workload model: flows, tasks, and the paper's trace generators.
+
+The unit of admission and success in TAPS is the **task** (coflow): a set
+of flows that arrive together and share one deadline; the task succeeds
+only if every flow finishes by the deadline (§I, §III-B).
+"""
+
+from repro.workload.flow import Flow, Task
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.io import load_tasks, save_tasks
+from repro.workload.traces import (
+    fig1_trace,
+    fig2_trace,
+    fig3_trace,
+    testbed_trace,
+)
+
+__all__ = [
+    "Flow",
+    "Task",
+    "WorkloadConfig",
+    "generate_workload",
+    "load_tasks",
+    "save_tasks",
+    "fig1_trace",
+    "fig2_trace",
+    "fig3_trace",
+    "testbed_trace",
+]

@@ -1,0 +1,92 @@
+"""Workload (de)serialisation — JSON traces for sharing and replay.
+
+A trace file is a JSON object::
+
+    {
+      "format": "taps-repro-trace-v1",
+      "tasks": [
+        {"task_id": 0, "arrival": 0.0, "deadline": 0.04,
+         "flows": [{"flow_id": 0, "src": "h0_0_0", "dst": "h1_0_0",
+                    "size": 200000.0}, …]},
+        …
+      ]
+    }
+
+Flow ``release``/``deadline`` are implied by the owning task (the paper's
+model: all flows of a task share both), keeping traces compact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.util.errors import ConfigurationError
+from repro.workload.flow import Flow, Task
+
+FORMAT = "taps-repro-trace-v1"
+
+
+def tasks_to_dict(tasks: list[Task]) -> dict:
+    """Serialisable representation of a workload."""
+    return {
+        "format": FORMAT,
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "arrival": t.arrival,
+                "deadline": t.deadline,
+                "flows": [
+                    {
+                        "flow_id": f.flow_id,
+                        "src": f.src,
+                        "dst": f.dst,
+                        "size": f.size,
+                    }
+                    for f in t.flows
+                ],
+            }
+            for t in tasks
+        ],
+    }
+
+
+def tasks_from_dict(data: dict) -> list[Task]:
+    """Inverse of :func:`tasks_to_dict`, with format validation."""
+    if data.get("format") != FORMAT:
+        raise ConfigurationError(
+            f"not a {FORMAT} trace (format={data.get('format')!r})"
+        )
+    tasks = []
+    for td in data["tasks"]:
+        flows = tuple(
+            Flow(
+                flow_id=fd["flow_id"],
+                task_id=td["task_id"],
+                src=fd["src"],
+                dst=fd["dst"],
+                size=fd["size"],
+                release=td["arrival"],
+                deadline=td["deadline"],
+            )
+            for fd in td["flows"]
+        )
+        tasks.append(
+            Task(
+                task_id=td["task_id"],
+                arrival=td["arrival"],
+                deadline=td["deadline"],
+                flows=flows,
+            )
+        )
+    return tasks
+
+
+def save_tasks(tasks: list[Task], path: str | Path) -> None:
+    """Write a workload to a JSON trace file."""
+    Path(path).write_text(json.dumps(tasks_to_dict(tasks), indent=1))
+
+
+def load_tasks(path: str | Path) -> list[Task]:
+    """Read a workload from a JSON trace file."""
+    return tasks_from_dict(json.loads(Path(path).read_text()))

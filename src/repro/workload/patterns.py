@@ -1,0 +1,206 @@
+"""Application workload patterns from the paper's motivation (§II).
+
+"Current data center applications and distributed computing systems like
+MapReduce and Dryad employ a partition/aggregation pattern … for web
+search works, each task contains at least 88 flows, while for MapReduce
+works each task contains 30 to even more than 50000 flows, and for Cosmos
+works most tasks contain 30–70 flows."
+
+These builders generate *structured* coflows instead of the §V-A uniform
+ones:
+
+* :func:`partition_aggregate_task` — ``m`` workers push partial results to
+  one aggregator (the classic incast: all flows share the aggregator's
+  access link);
+* :func:`shuffle_task` — an ``m×r`` mapper→reducer shuffle (MapReduce);
+* presets :func:`websearch_workload`, :func:`mapreduce_workload`, and
+  :func:`cosmos_workload` wire the paper's quoted fan-out statistics to
+  Poisson arrivals and exponential deadlines, scaled by a ``fanout_scale``
+  so laptop-sized topologies keep the paper's structure at feasible size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng, spawn
+from repro.util.units import KB, ms
+from repro.workload.flow import Flow, Task
+
+
+def partition_aggregate_task(
+    task_id: int,
+    aggregator: str,
+    workers: list[str],
+    flow_size: float,
+    arrival: float,
+    deadline: float,
+    first_flow_id: int,
+    size_jitter: np.random.Generator | None = None,
+    sigma_frac: float = 0.2,
+) -> Task:
+    """One web-search-style aggregation: every worker sends to the
+    aggregator, and the response is useful only if *all* partial results
+    arrive by the deadline — the paper's task model in its purest form."""
+    if aggregator in workers:
+        raise ConfigurationError("aggregator cannot be one of its workers")
+    if not workers:
+        raise ConfigurationError("need at least one worker")
+    flows = []
+    for j, w in enumerate(workers):
+        size = flow_size
+        if size_jitter is not None:
+            size = max(1.0, size_jitter.normal(flow_size, sigma_frac * flow_size))
+        flows.append(
+            Flow(
+                flow_id=first_flow_id + j,
+                task_id=task_id,
+                src=w,
+                dst=aggregator,
+                size=float(size),
+                release=arrival,
+                deadline=deadline,
+            )
+        )
+    return Task(task_id=task_id, arrival=arrival, deadline=deadline,
+                flows=tuple(flows))
+
+
+def shuffle_task(
+    task_id: int,
+    mappers: list[str],
+    reducers: list[str],
+    bytes_per_pair: float,
+    arrival: float,
+    deadline: float,
+    first_flow_id: int,
+) -> Task:
+    """A MapReduce shuffle: one flow per (mapper, reducer) pair."""
+    if set(mappers) & set(reducers):
+        raise ConfigurationError("mapper and reducer sets must be disjoint")
+    if not mappers or not reducers:
+        raise ConfigurationError("need mappers and reducers")
+    flows = []
+    fid = first_flow_id
+    for m in mappers:
+        for r in reducers:
+            flows.append(
+                Flow(flow_id=fid, task_id=task_id, src=m, dst=r,
+                     size=bytes_per_pair, release=arrival, deadline=deadline)
+            )
+            fid += 1
+    return Task(task_id=task_id, arrival=arrival, deadline=deadline,
+                flows=tuple(flows))
+
+
+def _poisson_arrivals(n: int, rate: float, rng) -> np.ndarray:
+    gaps = rng.exponential(1.0 / rate, size=n)
+    out = np.concatenate(([0.0], np.cumsum(gaps[:-1])))
+    return out
+
+
+def _structured_workload(
+    hosts: list[str],
+    num_tasks: int,
+    fanout: tuple[int, int],
+    mean_flow_size: float,
+    mean_deadline: float,
+    arrival_rate: float,
+    seed: int,
+    kind: str,
+) -> list[Task]:
+    if len(hosts) < fanout[0] + 1:
+        raise ConfigurationError(
+            f"need ≥ {fanout[0] + 1} hosts for fan-out {fanout}"
+        )
+    root = make_rng(seed)
+    rng_arr, rng_fan, rng_pick, rng_dl, rng_size = spawn(root, 5)
+    arrivals = _poisson_arrivals(num_tasks, arrival_rate, rng_arr)
+    tasks: list[Task] = []
+    fid = 0
+    host_arr = np.array(hosts)
+    for tid in range(num_tasks):
+        lo, hi = fanout
+        m = int(rng_fan.integers(lo, hi + 1))
+        m = min(m, len(hosts) - 1)
+        members = rng_pick.choice(len(hosts), size=m + 1, replace=False)
+        arrival = float(arrivals[tid])
+        deadline = arrival + max(float(rng_dl.exponential(mean_deadline)), 1 * ms)
+        if kind == "aggregate":
+            task = partition_aggregate_task(
+                tid,
+                aggregator=str(host_arr[members[0]]),
+                workers=[str(h) for h in host_arr[members[1:]]],
+                flow_size=mean_flow_size,
+                arrival=arrival,
+                deadline=deadline,
+                first_flow_id=fid,
+                size_jitter=rng_size,
+            )
+        else:  # shuffle
+            split = max(1, (m + 1) // 2)
+            task = shuffle_task(
+                tid,
+                mappers=[str(h) for h in host_arr[members[:split]]],
+                reducers=[str(h) for h in host_arr[members[split:]]],
+                bytes_per_pair=mean_flow_size,
+                arrival=arrival,
+                deadline=deadline,
+                first_flow_id=fid,
+            )
+        tasks.append(task)
+        fid += task.num_flows
+    return tasks
+
+
+def websearch_workload(
+    hosts: list[str],
+    num_tasks: int = 20,
+    fanout_scale: float = 1.0,
+    mean_flow_size: float = 20 * KB,
+    mean_deadline: float = 40 * ms,
+    arrival_rate: float = 200.0,
+    seed: int = 0,
+) -> list[Task]:
+    """Web-search aggregations: "at least 88 flows" per task (§II), small
+    responses, tight deadlines.  ``fanout_scale`` shrinks the fan-out for
+    small topologies (0.1 → ~9-worker tasks)."""
+    lo = max(2, int(round(88 * fanout_scale)))
+    hi = max(lo + 1, int(round(120 * fanout_scale)))
+    return _structured_workload(hosts, num_tasks, (lo, hi), mean_flow_size,
+                                mean_deadline, arrival_rate, seed, "aggregate")
+
+
+def mapreduce_workload(
+    hosts: list[str],
+    num_tasks: int = 10,
+    fanout_scale: float = 1.0,
+    mean_flow_size: float = 200 * KB,
+    mean_deadline: float = 100 * ms,
+    arrival_rate: float = 50.0,
+    seed: int = 0,
+) -> list[Task]:
+    """MapReduce shuffles: "30 to even more than 50000 flows" (§II); an
+    m×r pair-wise shuffle with ~30…70 participants at scale 1."""
+    lo = max(3, int(round(10 * fanout_scale)))
+    hi = max(lo + 1, int(round(16 * fanout_scale)))
+    return _structured_workload(hosts, num_tasks, (lo, hi), mean_flow_size,
+                                mean_deadline, arrival_rate, seed, "shuffle")
+
+
+def cosmos_workload(
+    hosts: list[str],
+    num_tasks: int = 20,
+    fanout_scale: float = 1.0,
+    mean_flow_size: float = 100 * KB,
+    mean_deadline: float = 60 * ms,
+    arrival_rate: float = 100.0,
+    seed: int = 0,
+) -> list[Task]:
+    """Cosmos-style tasks: "most tasks contain 30–70 flows" (§II),
+    aggregation-shaped."""
+    lo = max(2, int(round(30 * fanout_scale)))
+    hi = max(lo + 1, int(round(70 * fanout_scale)))
+    return _structured_workload(hosts, num_tasks, (lo, hi), mean_flow_size,
+                                mean_deadline, arrival_rate, seed, "aggregate")

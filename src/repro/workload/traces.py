@@ -1,0 +1,174 @@
+"""Hand-written traces reproducing the paper's worked examples.
+
+All three motivation examples (Figs. 1–3) use abstract units: link
+capacity 1 (one size unit per time unit), so a flow's "size" in the paper's
+tables is both bytes and seconds here.
+
+The dumbbell used by Figs. 1–2 realises "one bottleneck link": every flow
+crosses the single inter-switch cable; host access links never contend
+because each host terminates exactly one flow.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Topology
+from repro.workload.flow import Task, make_task
+
+
+def dumbbell(n_pairs: int = 4, capacity: float = 1.0) -> Topology:
+    """``n_pairs`` left hosts, one shared cable, ``n_pairs`` right hosts.
+
+    Flow ``i`` runs ``L{i} -> R{i}``; the middle cable is the bottleneck.
+    """
+    topo = Topology(name=f"dumbbell-{n_pairs}", default_capacity=capacity)
+    topo.add_switch("SL")
+    topo.add_switch("SR")
+    topo.add_cable("SL", "SR")
+    for i in range(n_pairs):
+        topo.add_host(f"L{i}")
+        topo.add_cable(f"L{i}", "SL")
+        topo.add_host(f"R{i}")
+        topo.add_cable(f"R{i}", "SR")
+    return topo
+
+
+def fig1_trace() -> tuple[Topology, list[Task]]:
+    """Paper Fig. 1(a): two tasks, four flows, one bottleneck.
+
+    =====  ======  ====  ========
+    Task   Flow    Size  Deadline
+    =====  ======  ====  ========
+    t1     f11     2     4
+    t1     f12     4     4
+    t2     f21     1     4
+    t2     f22     3     4
+    =====  ======  ====  ========
+
+    Expected completions (paper Fig. 1(b)–(e)): Fair Sharing 1 flow / 0
+    tasks; D3 1 flow / 0 tasks; PDQ 2 flows / 0 tasks; task-aware (TAPS)
+    2 flows / 1 task (t2).
+    """
+    topo = dumbbell(4)
+    t1 = make_task(0, arrival=0.0, deadline=4.0,
+                   flow_specs=[("L0", "R0", 2.0), ("L1", "R1", 4.0)],
+                   first_flow_id=0)
+    t2 = make_task(1, arrival=0.0, deadline=4.0,
+                   flow_specs=[("L2", "R2", 1.0), ("L3", "R3", 3.0)],
+                   first_flow_id=2)
+    return topo, [t1, t2]
+
+
+def fig2_trace() -> tuple[Topology, list[Task]]:
+    """Paper Fig. 2(a): the preemption motivation.
+
+    =====  ======  ====  ========
+    Task   Flow    Size  Deadline
+    =====  ======  ====  ========
+    t1     f11     1     4
+    t1     f12     1     4
+    t2     f21     1     2
+    t2     f22     1     2
+    =====  ======  ====  ========
+
+    Expected (paper Fig. 2(b)–(d)): Baraat fails t2 (completes at most
+    t1); Varys admits t1, rejects t2 → 1 task; TAPS reorders globally →
+    2 tasks.
+    """
+    topo = dumbbell(4)
+    t1 = make_task(0, arrival=0.0, deadline=4.0,
+                   flow_specs=[("L0", "R0", 1.0), ("L1", "R1", 1.0)],
+                   first_flow_id=0)
+    t2 = make_task(1, arrival=0.0, deadline=2.0,
+                   flow_specs=[("L2", "R2", 1.0), ("L3", "R3", 1.0)],
+                   first_flow_id=2)
+    return topo, [t1, t2]
+
+
+def fig3_topology(capacity: float = 1.0) -> Topology:
+    """The 4-host / 5-switch network of paper Fig. 3(c).
+
+    Reconstructed from the walk-through in §III-A: hosts 1..4; f1 (1→2)
+    shares its first link with f2 (1→4) at S1 and its last with f3 (3→2)
+    at S5; f4 (3→4) runs 3→S3→S5→S4→4; f2 additionally has a disjoint
+    detour via S2.
+    """
+    topo = Topology(name="fig3", default_capacity=capacity)
+    for h in ("1", "2", "3", "4"):
+        topo.add_host(h)
+    for s in ("S1", "S2", "S3", "S4", "S5"):
+        topo.add_switch(s)
+    topo.add_cable("1", "S1")
+    topo.add_cable("2", "S5")
+    topo.add_cable("3", "S3")
+    topo.add_cable("4", "S4")
+    topo.add_cable("S1", "S5")
+    topo.add_cable("S1", "S2")
+    topo.add_cable("S2", "S4")
+    topo.add_cable("S3", "S5")
+    topo.add_cable("S5", "S4")
+    return topo
+
+
+def fig3_trace() -> tuple[Topology, list[Task]]:
+    """Paper Fig. 3(a): four single-flow tasks for the global-scheduling
+    example.
+
+    ====  ====  ========  ===  ===
+    Flow  Size  Deadline  Src  Dst
+    ====  ====  ========  ===  ===
+    f1    1     1         1    2
+    f2    1     2         1    4
+    f3    1     2         3    2
+    f4    2     3         3    4
+    ====  ====  ========  ===  ===
+
+    Optimal (Fig. 3(b)): all four complete — f4 split into (0,1) & (2,3).
+    PDQ with a full flow list at its switches completes only f1–f3.
+    """
+    topo = fig3_topology()
+    specs = [
+        ("1", "2", 1.0, 1.0),
+        ("1", "4", 1.0, 2.0),
+        ("3", "2", 1.0, 2.0),
+        ("3", "4", 2.0, 3.0),
+    ]
+    tasks = [
+        make_task(i, arrival=0.0, deadline=dl,
+                  flow_specs=[(src, dst, size)], first_flow_id=i)
+        for i, (src, dst, size, dl) in enumerate(specs)
+    ]
+    return topo, tasks
+
+
+def testbed_trace(
+    num_flows: int = 100,
+    mean_flow_size: float = 100e3,
+    mean_deadline: float = 25e-3,
+    burst_window: float = 2e-3,
+    seed: int = 7,
+) -> tuple[Topology, list[Task]]:
+    """The implementation experiment's workload (paper §VI).
+
+    "Iperf is used to generate 100 flows … average flow size is 100KB and
+    average deadline is 40ms, similar to Sec. V-A.  The source and
+    destination IDs are generated randomly."  Flows are independent
+    single-flow tasks (the experiment reports throughput, not coflows),
+    launched in a short burst the way an iperf fan-out starts; the default
+    deadline is tightened so the run sits in the contended regime where
+    Fair Sharing visibly loses goodput (matching the paper's ~60% trace).
+    """
+    from repro.net.testbed import PartialFatTreeTestbed
+    from repro.workload.generator import WorkloadConfig, generate_workload
+
+    topo = PartialFatTreeTestbed()
+    cfg = WorkloadConfig(
+        num_tasks=num_flows,
+        arrival_rate=num_flows / burst_window,
+        mean_deadline=mean_deadline,
+        mean_flow_size=mean_flow_size,
+        mean_flows_per_task=1,
+        flows_per_task_dist="constant",
+        seed=seed,
+    )
+    tasks = generate_workload(cfg, list(topo.hosts))
+    return topo, tasks

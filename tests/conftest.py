@@ -1,0 +1,60 @@
+"""Shared fixtures: small topologies, workloads, and scheduler factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.fattree import FatTree
+from repro.net.testbed import PartialFatTreeTestbed
+from repro.net.trees import SingleRootedTree
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.traces import dumbbell
+
+
+@pytest.fixture
+def tiny_tree():
+    """2×2×2 single-rooted tree (8 hosts) — unique paths."""
+    return SingleRootedTree(servers_per_rack=2, racks_per_pod=2, pods=2)
+
+
+@pytest.fixture
+def small_tree():
+    """4×3×3 single-rooted tree (36 hosts) — the SMALL experiment scale."""
+    return SingleRootedTree(servers_per_rack=4, racks_per_pod=3, pods=3)
+
+
+@pytest.fixture
+def fat_tree4():
+    """k=4 fat-tree (16 hosts, 4 equal-cost inter-pod paths)."""
+    return FatTree(k=4)
+
+
+@pytest.fixture
+def testbed():
+    return PartialFatTreeTestbed()
+
+
+@pytest.fixture
+def bottleneck():
+    """4-pair dumbbell with unit capacity (motivation-example substrate)."""
+    return dumbbell(4)
+
+
+@pytest.fixture
+def small_workload(small_tree):
+    """30 tasks × ~8 flows on the small tree, seeded."""
+    cfg = WorkloadConfig(
+        num_tasks=30, mean_flows_per_task=8, arrival_rate=300, seed=42
+    )
+    return generate_workload(cfg, list(small_tree.hosts))
+
+
+@pytest.fixture(
+    params=["Fair Sharing", "D3", "PDQ", "Baraat", "Varys", "TAPS"],
+    ids=["fair", "d3", "pdq", "baraat", "varys", "taps"],
+)
+def any_scheduler(request):
+    """A fresh instance of each of the six schedulers."""
+    from repro.sched.registry import make_scheduler
+
+    return make_scheduler(request.param)

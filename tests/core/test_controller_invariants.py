@@ -1,0 +1,113 @@
+"""Property-based invariants of the TAPS controller on random workloads.
+
+These pin the paper's structural guarantees:
+
+1. accepted tasks complete, with every flow inside its deadline;
+2. rejected tasks never transmit a byte;
+3. committed slices never overlap on a link (exclusive transmission);
+4. with the default (PROGRESS) policy there is no waste at all —
+   the only waste channel is preemption, which PROGRESS never triggers
+   for a transmitting victim.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import TapsScheduler
+from repro.core.occupancy import OccupancyLedger
+from repro.core.reject import PreemptionPolicy
+from repro.metrics.summary import summarize
+from repro.sim.engine import Engine
+from repro.sim.state import FlowStatus, TaskOutcome
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell
+
+
+@st.composite
+def random_workload(draw):
+    """3–8 tasks of 1–3 flows on a 6-pair dumbbell; arrivals, sizes and
+    deadlines drawn so infeasibility is common but not universal."""
+    n_tasks = draw(st.integers(3, 8))
+    tasks = []
+    fid = 0
+    t = 0.0
+    for tid in range(n_tasks):
+        t += draw(st.floats(0.0, 2.0))
+        n_flows = draw(st.integers(1, 3))
+        specs = []
+        for j in range(n_flows):
+            pair = draw(st.integers(0, 5))
+            size = draw(st.floats(0.5, 4.0))
+            specs.append((f"L{pair}", f"R{pair}", size))
+        slack = draw(st.floats(0.5, 12.0))
+        tasks.append(make_task(tid, t, t + slack, specs, fid))
+        fid += n_flows
+    return tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_workload())
+def test_accepted_tasks_always_complete(tasks):
+    topo = dumbbell(6)
+    sched = TapsScheduler()
+    result = Engine(topo, tasks, sched).run()
+    for ts in result.task_states:
+        if ts.accepted:
+            assert ts.outcome is TaskOutcome.COMPLETED, (
+                f"accepted task {ts.task.task_id} failed"
+            )
+            for fs in ts.flow_states:
+                assert fs.met_deadline
+    assert sched.stats.backstop_kills == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_workload())
+def test_rejected_tasks_never_transmit(tasks):
+    topo = dumbbell(6)
+    result = Engine(topo, tasks, TapsScheduler()).run()
+    for ts in result.task_states:
+        if ts.accepted is False:
+            for fs in ts.flow_states:
+                assert fs.bytes_sent == 0.0
+                assert fs.status is FlowStatus.REJECTED
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_workload())
+def test_no_waste_under_progress_policy(tasks):
+    topo = dumbbell(6)
+    result = Engine(topo, tasks,
+                    TapsScheduler(preemption=PreemptionPolicy.PROGRESS)).run()
+    m = summarize(result)
+    assert m.wasted_bandwidth_ratio == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_workload())
+def test_committed_slices_exclusive_per_link(tasks):
+    """After every arrival, the committed plans never overlap on a link."""
+    topo = dumbbell(6)
+    sched = TapsScheduler()
+    engine = Engine(topo, tasks, sched)
+    sched.attach(topo, engine.path_service)
+    checker = OccupancyLedger()
+    for ts in sorted(engine.task_states, key=lambda s: s.task.arrival):
+        sched.on_task_arrival(ts, ts.task.arrival)
+        checker.assert_exclusive(
+            [(p.path, p.slices) for p in sched.plans.values()]
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_workload(), st.sampled_from(list(PreemptionPolicy)))
+def test_all_policies_terminate_and_partition_flows(tasks, policy):
+    topo = dumbbell(6)
+    result = Engine(topo, tasks, TapsScheduler(preemption=policy)).run()
+    for fs in result.flow_states:
+        assert fs.status in (
+            FlowStatus.COMPLETED, FlowStatus.REJECTED, FlowStatus.TERMINATED
+        )
+    # conservation: sent + remaining == size
+    for fs in result.flow_states:
+        assert fs.bytes_sent + fs.remaining == pytest.approx(fs.flow.size, rel=1e-4)

@@ -1,0 +1,26 @@
+"""OccupancyLedger.copy and incremental-trial semantics."""
+
+from repro.core.occupancy import OccupancyLedger
+from repro.util.intervals import IntervalSet
+
+
+def test_copy_is_deep():
+    ledger = OccupancyLedger()
+    ledger.commit((0, 1), IntervalSet.single(0, 2))
+    clone = ledger.copy()
+    clone.commit((0,), IntervalSet.single(5, 6))
+    assert ledger.occupied(0).intervals() == [(0, 2)]
+    assert clone.occupied(0).intervals() == [(0, 2), (5, 6)]
+
+
+def test_copy_of_empty():
+    clone = OccupancyLedger().copy()
+    assert clone.touched_links() == []
+
+
+def test_copy_then_mutate_original():
+    ledger = OccupancyLedger()
+    ledger.commit((3,), IntervalSet.single(0, 1))
+    clone = ledger.copy()
+    ledger.commit((3,), IntervalSet.single(2, 3))
+    assert clone.occupied(3).intervals() == [(0, 1)]

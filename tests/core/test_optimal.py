@@ -1,0 +1,85 @@
+"""Offline EDF-packing bound and TAPS' optimality gap."""
+
+import pytest
+
+from repro.core.controller import TapsScheduler
+from repro.core.optimal import edf_packing_feasible, offline_best_subset
+from repro.net.paths import PathService
+from repro.sim.engine import Engine
+from repro.util.errors import ConfigurationError
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell, fig1_trace, fig2_trace
+
+
+def _paths(topo):
+    return PathService(topo)
+
+
+class TestFeasibility:
+    def test_empty_feasible(self, bottleneck=None):
+        topo = dumbbell(1)
+        assert edf_packing_feasible([], _paths(topo), 1.0)
+
+    def test_single_task(self):
+        topo = dumbbell(1)
+        ok = make_task(0, 0.0, 5.0, [("L0", "R0", 2.0)], 0)
+        bad = make_task(1, 0.0, 1.0, [("L0", "R0", 2.0)], 1)
+        assert edf_packing_feasible([ok], _paths(topo), 1.0)
+        assert not edf_packing_feasible([bad], _paths(topo), 1.0)
+
+    def test_monotone_in_task_set(self):
+        topo = dumbbell(2)
+        paths = _paths(topo)
+        a = make_task(0, 0.0, 4.0, [("L0", "R0", 3.0)], 0)
+        b = make_task(1, 0.0, 4.0, [("L1", "R1", 3.0)], 1)
+        assert edf_packing_feasible([a], paths, 1.0)
+        assert not edf_packing_feasible([a, b], paths, 1.0)
+
+
+class TestOfflineBound:
+    def test_fig1_optimum_is_one_task(self):
+        topo, tasks = fig1_trace()
+        bound = offline_best_subset(tasks, _paths(topo), 1.0)
+        assert bound.best_count == 1
+        assert bound.best_task_ids == (1,)  # t2, the smaller task
+
+    def test_fig2_optimum_is_both(self):
+        topo, tasks = fig2_trace()
+        bound = offline_best_subset(tasks, _paths(topo), 1.0)
+        assert bound.best_count == 2
+
+    def test_counts_work(self):
+        topo, tasks = fig2_trace()
+        bound = offline_best_subset(tasks, _paths(topo), 1.0)
+        assert bound.nodes_explored > 0
+        assert bound.feasibility_checks > 0
+
+    def test_max_nodes_guard(self):
+        topo, tasks = fig2_trace()
+        with pytest.raises(ConfigurationError):
+            offline_best_subset(tasks, _paths(topo), 1.0, max_nodes=1)
+
+    def test_taps_matches_bound_on_motivation_examples(self):
+        for trace in (fig1_trace, fig2_trace):
+            topo, tasks = trace()
+            bound = offline_best_subset(tasks, _paths(topo), 1.0)
+            result = Engine(topo, tasks, TapsScheduler()).run()
+            assert result.tasks_completed == bound.best_count
+
+    def test_taps_within_bound_on_random_workload(self):
+        from repro.workload.generator import WorkloadConfig, generate_workload
+
+        topo = dumbbell(5)
+        cfg = WorkloadConfig(
+            num_tasks=8, mean_flows_per_task=2, arrival_rate=2.0,
+            mean_flow_size=1.0, min_flow_size=0.2,
+            mean_deadline=2.5, seed=3,
+        )
+        tasks = generate_workload(cfg, list(topo.hosts))
+        paths = _paths(topo)
+        bound = offline_best_subset(tasks, paths, 1.0)
+        result = Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
+        # the offline evaluator upper-bounds the online controller here
+        assert result.tasks_completed <= bound.best_count
+        # and TAPS is not wildly off (the "near-optimal" claim, measured)
+        assert result.tasks_completed >= bound.best_count - 2

@@ -1,0 +1,146 @@
+"""The TAPS reject rule (§IV-B) under each preemption policy."""
+
+import pytest
+
+from repro.core.allocation import FlowPlan
+from repro.core.reject import (
+    Decision,
+    PreemptionPolicy,
+    RejectRule,
+)
+from repro.sim.state import FlowState, TaskState
+from repro.util.intervals import IntervalSet
+from repro.workload.flow import make_task
+
+
+def _task_state(tid, sizes, deadline=10.0, first_fid=0):
+    task = make_task(tid, 0.0, deadline,
+                     [("a", "b", s) for s in sizes], first_fid)
+    ts = TaskState(task=task)
+    ts.flow_states = [FlowState(flow=f) for f in task.flows]
+    return ts
+
+
+def _plan(fs, completion):
+    return FlowPlan(
+        flow_state=fs,
+        path=(0,),
+        slices=IntervalSet.single(max(0.0, completion - 1.0), completion),
+        completion=completion,
+    )
+
+
+def _plans(*pairs):
+    return {
+        fs.flow.flow_id: _plan(fs, completion) for fs, completion in pairs
+    }
+
+
+@pytest.fixture
+def rule():
+    return RejectRule(PreemptionPolicy.PROGRESS)
+
+
+class TestAcceptance:
+    def test_no_misses_accepts(self, rule):
+        new = _task_state(1, [2.0])
+        plans = _plans((new.flow_states[0], 5.0))
+        d = rule.evaluate(plans, new, {1: new})
+        assert d.decision is Decision.ACCEPT
+
+    def test_completion_exactly_at_deadline_accepts(self, rule):
+        new = _task_state(1, [2.0], deadline=5.0)
+        plans = _plans((new.flow_states[0], 5.0))
+        assert rule.evaluate(plans, new, {1: new}).decision is Decision.ACCEPT
+
+
+class TestRejectNew:
+    def test_new_task_missing_rejected(self, rule):
+        new = _task_state(1, [2.0], deadline=3.0)
+        plans = _plans((new.flow_states[0], 9.0))
+        d = rule.evaluate(plans, new, {1: new})
+        assert d.decision is Decision.REJECT_NEW
+        assert d.missing_flow_ids == (0,)
+
+    def test_multiple_victim_tasks_rejects_new(self, rule):
+        old1 = _task_state(1, [2.0], deadline=3.0, first_fid=0)
+        old2 = _task_state(2, [2.0], deadline=3.0, first_fid=1)
+        new = _task_state(3, [2.0], deadline=30.0, first_fid=2)
+        plans = _plans(
+            (old1.flow_states[0], 9.0),   # misses
+            (old2.flow_states[0], 9.0),   # misses
+            (new.flow_states[0], 1.0),
+        )
+        d = rule.evaluate(plans, new, {1: old1, 2: old2, 3: new})
+        assert d.decision is Decision.REJECT_NEW
+
+    def test_new_and_old_missing_rejects_new(self, rule):
+        old = _task_state(1, [2.0], deadline=3.0, first_fid=0)
+        new = _task_state(2, [2.0], deadline=3.0, first_fid=1)
+        plans = _plans((old.flow_states[0], 9.0), (new.flow_states[0], 9.0))
+        assert (
+            rule.evaluate(plans, new, {1: old, 2: new}).decision
+            is Decision.REJECT_NEW
+        )
+
+
+class TestCaseThree:
+    def _setup(self, victim_progress: float):
+        victim = _task_state(1, [4.0], deadline=3.0, first_fid=0)
+        victim.flow_states[0].bytes_sent = victim_progress
+        new = _task_state(2, [2.0], deadline=30.0, first_fid=1)
+        plans = _plans((victim.flow_states[0], 9.0), (new.flow_states[0], 1.0))
+        return victim, new, plans
+
+    def test_progress_policy_keeps_transmitting_incumbent(self):
+        rule = RejectRule(PreemptionPolicy.PROGRESS)
+        victim, new, plans = self._setup(victim_progress=1.0)
+        d = rule.evaluate(plans, new, {1: victim, 2: new})
+        # victim has progress 0.25 >= newcomer's 0 → newcomer rejected
+        assert d.decision is Decision.REJECT_NEW
+
+    def test_progress_policy_tie_keeps_incumbent(self):
+        rule = RejectRule(PreemptionPolicy.PROGRESS)
+        victim, new, plans = self._setup(victim_progress=0.0)
+        d = rule.evaluate(plans, new, {1: victim, 2: new})
+        assert d.decision is Decision.REJECT_NEW  # "not less than" → reject
+
+    def test_prospective_policy_preempts_victim(self):
+        rule = RejectRule(PreemptionPolicy.PROSPECTIVE)
+        victim, new, plans = self._setup(victim_progress=1.0)
+        d = rule.evaluate(plans, new, {1: victim, 2: new})
+        # victim completes 0/1 flows prospectively, newcomer 1/1
+        assert d.decision is Decision.DISCARD_VICTIM
+        assert d.victim_task_id == 1
+
+    def test_never_policy_rejects_new(self):
+        rule = RejectRule(PreemptionPolicy.NEVER)
+        victim, new, plans = self._setup(victim_progress=0.0)
+        d = rule.evaluate(plans, new, {1: victim, 2: new})
+        assert d.decision is Decision.REJECT_NEW
+
+    def test_progress_policy_preempts_less_complete_victim(self):
+        """When the *newcomer* has progress (re-evaluation after partial
+        transmission) and the victim has strictly less, it is discarded."""
+        rule = RejectRule(PreemptionPolicy.PROGRESS)
+        victim, new, plans = self._setup(victim_progress=0.0)
+        new.flow_states[0].bytes_sent = 1.0  # newcomer progressed somehow
+        d = rule.evaluate(plans, new, {1: victim, 2: new})
+        assert d.decision is Decision.DISCARD_VICTIM
+
+
+class TestProspectiveRatio:
+    def test_counts_already_completed_flows(self):
+        rule = RejectRule(PreemptionPolicy.PROSPECTIVE)
+        ts = _task_state(1, [1.0, 1.0], deadline=10.0)
+        done, planned = ts.flow_states
+        done.finish(2.0)  # finished in time, no plan in the trial
+        plans = _plans((planned, 5.0))
+        assert rule._prospective(plans, ts) == pytest.approx(1.0)
+
+    def test_missing_flows_lower_ratio(self):
+        rule = RejectRule(PreemptionPolicy.PROSPECTIVE)
+        ts = _task_state(1, [1.0, 1.0], deadline=4.0)
+        a, b = ts.flow_states
+        plans = _plans((a, 3.0), (b, 9.0))
+        assert rule._prospective(plans, ts) == pytest.approx(0.5)

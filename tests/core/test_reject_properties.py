@@ -1,0 +1,95 @@
+"""Property-based tests of the reject rule's decision table.
+
+Whatever the trial allocation looks like, the rule must be total and
+consistent: exactly one decision, ACCEPT iff nothing misses, REJECT_NEW
+whenever the newcomer itself (or more than one task) misses, and
+DISCARD only ever names the single other missing task.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import FlowPlan
+from repro.core.reject import Decision, PreemptionPolicy, RejectRule
+from repro.sim.state import FlowState, TaskState
+from repro.util.intervals import IntervalSet
+from repro.workload.flow import make_task
+
+
+@st.composite
+def scenario(draw):
+    """A trial allocation over 2–4 tasks with arbitrary miss patterns and
+    progress; the newcomer is always the last task."""
+    n_tasks = draw(st.integers(2, 4))
+    states = {}
+    plans = {}
+    fid = 0
+    deadline = 10.0
+    for tid in range(n_tasks):
+        n_flows = draw(st.integers(1, 3))
+        task = make_task(tid, 0.0, deadline,
+                         [("a", "b", 4.0)] * n_flows, fid)
+        ts = TaskState(task=task)
+        ts.flow_states = [FlowState(flow=f) for f in task.flows]
+        states[tid] = ts
+        for fs in ts.flow_states:
+            fs.bytes_sent = draw(st.floats(0.0, 4.0)) if tid != n_tasks - 1 \
+                else 0.0
+            misses = draw(st.booleans())
+            completion = deadline + 1.0 if misses else deadline - 1.0
+            plans[fs.flow.flow_id] = FlowPlan(
+                flow_state=fs, path=(0,),
+                slices=IntervalSet.single(0.0, 1.0),
+                completion=completion,
+            )
+        fid += n_flows
+    new_task = states[n_tasks - 1]
+    return plans, new_task, states
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenario(), st.sampled_from(list(PreemptionPolicy)))
+def test_decision_table(sc, policy):
+    plans, new_task, states = sc
+    rule = RejectRule(policy)
+    d = rule.evaluate(plans, new_task, states)
+
+    missing = {p.flow_state.flow.task_id
+               for p in plans.values() if not p.meets_deadline}
+    new_id = new_task.task.task_id
+
+    if not missing:
+        assert d.decision is Decision.ACCEPT
+        assert d.victim_task_id is None
+        return
+
+    assert d.missing_flow_ids  # misses are reported
+    if new_id in missing or len(missing) > 1:
+        assert d.decision is Decision.REJECT_NEW
+        return
+
+    # exactly one other task misses: either outcome, but a discard must
+    # name precisely that task
+    assert d.decision in (Decision.REJECT_NEW, Decision.DISCARD_VICTIM)
+    if d.decision is Decision.DISCARD_VICTIM:
+        assert d.victim_task_id in missing
+        assert d.victim_task_id != new_id
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario())
+def test_never_policy_never_discards(sc):
+    plans, new_task, states = sc
+    d = RejectRule(PreemptionPolicy.NEVER).evaluate(plans, new_task, states)
+    assert d.decision is not Decision.DISCARD_VICTIM
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario())
+def test_progress_policy_protects_transmitting_incumbents(sc):
+    """A victim with strictly more transmitted bytes than the newcomer
+    (which has none) is never discarded under the literal reading."""
+    plans, new_task, states = sc
+    d = RejectRule(PreemptionPolicy.PROGRESS).evaluate(plans, new_task, states)
+    if d.decision is Decision.DISCARD_VICTIM:
+        victim = states[d.victim_task_id]
+        assert victim.completion_ratio < new_task.completion_ratio - 1e-12

@@ -1,0 +1,104 @@
+"""Sweep runner mechanics on a tiny grid."""
+
+import pytest
+
+from repro.exp.sweep import run_sweep
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.traces import dumbbell
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    topo_holder = {}
+
+    def topo():
+        return topo_holder.setdefault("t", dumbbell(6))
+
+    def workload(deadline, seed):
+        cfg = WorkloadConfig(
+            num_tasks=6, mean_flows_per_task=2, arrival_rate=1.0,
+            mean_deadline=deadline, mean_flow_size=1.0,
+            min_flow_size=0.1, seed=seed,
+        )
+        hosts = list(topo().hosts)
+        return generate_workload(cfg, hosts)
+
+    return run_sweep(
+        topo, workload,
+        param_name="mean_deadline",
+        param_values=[1.0, 5.0],
+        schedulers=("Fair Sharing", "TAPS"),
+        seeds=(1, 2),
+    )
+
+
+def test_series_aligned_with_values(tiny_sweep):
+    for sched in tiny_sweep.schedulers:
+        for metric, series in tiny_sweep.series[sched].items():
+            assert len(series) == len(tiny_sweep.param_values)
+
+
+def test_all_metrics_present(tiny_sweep):
+    for sched in tiny_sweep.schedulers:
+        assert set(tiny_sweep.series[sched]) == {
+            "task_completion_ratio",
+            "task_size_completion_ratio",
+            "flow_completion_ratio",
+            "application_throughput",
+            "wasted_bandwidth_ratio",
+            "task_wasted_ratio",
+        }
+
+
+def test_raw_keyed_by_sched_value_seed(tiny_sweep):
+    assert ("TAPS", 1.0, 1) in tiny_sweep.raw
+    assert ("Fair Sharing", 5.0, 2) in tiny_sweep.raw
+
+
+def test_means_are_seed_averages(tiny_sweep):
+    for v_idx, value in enumerate(tiny_sweep.param_values):
+        per_seed = [
+            tiny_sweep.raw[("TAPS", value, s)].task_completion_ratio
+            for s in (1, 2)
+        ]
+        mean = tiny_sweep.series["TAPS"]["task_completion_ratio"][v_idx]
+        assert mean == pytest.approx(sum(per_seed) / 2)
+
+
+def test_metric_accessor(tiny_sweep):
+    assert tiny_sweep.metric("TAPS", "task_completion_ratio") == \
+        tiny_sweep.series["TAPS"]["task_completion_ratio"]
+
+
+def test_longer_deadlines_do_not_hurt(tiny_sweep):
+    """Monotone sanity: mean ratios should not collapse as slack grows."""
+    for sched in tiny_sweep.schedulers:
+        s = tiny_sweep.series[sched]["task_completion_ratio"]
+        assert s[-1] >= s[0] - 0.35
+
+
+def test_to_csv_wide_format(tiny_sweep, tmp_path):
+    p = tmp_path / "wide.csv"
+    tiny_sweep.to_csv(p, metric="task_completion_ratio")
+    import csv
+
+    rows = list(csv.reader(p.open()))
+    assert rows[0][0] == "mean_deadline"
+    assert len(rows) == 1 + len(tiny_sweep.schedulers)
+    assert {r[0] for r in rows[1:]} == set(tiny_sweep.schedulers)
+    # one column per parameter value
+    assert all(len(r) == 1 + len(tiny_sweep.param_values) for r in rows)
+
+
+def test_to_csv_long_format(tiny_sweep, tmp_path):
+    p = tmp_path / "long.csv"
+    tiny_sweep.to_csv(p)
+    import csv
+
+    rows = list(csv.reader(p.open()))
+    assert rows[0] == ["scheduler", "mean_deadline", "seed", "metric", "value"]
+    # 2 schedulers × 2 values × 2 seeds × ≥10 numeric metrics
+    assert len(rows) > 2 * 2 * 2 * 10
+    # values parse as floats
+    for r in rows[1:5]:
+        float(r[-1])

@@ -1,0 +1,68 @@
+"""CLI entry point (argument parsing and end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_motivation_subcommand(capsys):
+    assert main(["motivation"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "fig2" in out and "fig3" in out
+    assert "MISMATCH" not in out
+
+
+def test_nphard_subcommand(capsys):
+    assert main(["nphard"]) == 0
+    out = capsys.readouterr().out
+    assert "hamiltonian" in out.lower()
+    assert "True" in out and "False" in out
+
+
+def test_figure_subcommand_fig14(capsys):
+    assert main(["figure", "fig14"]) == 0
+    out = capsys.readouterr().out
+    assert "fig14" in out
+    assert "TAPS" in out and "Fair Sharing" in out
+
+
+def test_figure_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig14", "--scale", "galactic"])
+
+
+def test_zoo_subcommand(capsys):
+    assert main(["zoo"]) == 0
+    out = capsys.readouterr().out
+    assert "fat-tree" in out and "bcube" in out and "ficonn" in out
+
+
+def test_optimality_subcommand(capsys):
+    assert main(["optimality", "--instances", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mean gap" in out
+
+
+def test_report_subcommand(tmp_path, capsys):
+    out = tmp_path / "rep.md"
+    assert main(["report", "--out", str(out), "--figures", "fig14"]) == 0
+    assert out.exists()
+    assert "fig14" in out.read_text()
+
+
+def test_figure_csv_flag(tmp_path, capsys):
+    out = tmp_path / "fig14.csv"
+    assert main(["figure", "fig14", "--csv", str(out)]) == 0
+    # fig14 is a time-series figure: csv politely skipped
+    assert "csv skipped" in capsys.readouterr().out
+    assert not out.exists()

@@ -1,0 +1,46 @@
+"""Every shipped example must run clean end-to-end.
+
+Deliverable insurance: the examples are the first thing a new user runs;
+these smoke tests execute each one in a subprocess and sanity-check its
+output so API drift cannot silently break them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: a string each example must print (proof it did its real work)
+EXPECTED_SNIPPET = {
+    "quickstart.py": "TAPS",
+    "motivation_examples.py": "[match]",
+    "deadline_sweep.py": "task_completion_ratio",
+    "testbed_throughput.py": "Fair Sharing",
+    "sdn_protocol_trace.py": "control-plane transcript",
+    "nphard_reduction.py": "2-factor",
+    "gantt_schedules.py": "TAPS committed slices",
+    "websearch_incast.py": "aggregations",
+    "link_failure_rerouting.py": "outages injected",
+    "trace_workflow.py": "hottest links",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_SNIPPET)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert EXPECTED_SNIPPET[name] in proc.stdout
+    assert "Traceback" not in proc.stderr

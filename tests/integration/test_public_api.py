@@ -1,0 +1,29 @@
+"""The README/quickstart public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_quickstart_snippet_runs():
+    """The exact flow promised in the package docstring."""
+    topo = repro.SingleRootedTree(servers_per_rack=4, racks_per_pod=3, pods=3)
+    tasks = repro.generate_workload(
+        repro.WorkloadConfig(num_tasks=10), list(topo.hosts)
+    )
+    result = repro.Engine(topo, tasks, repro.TapsScheduler()).run()
+    metrics = repro.summarize(result)
+    assert 0.0 <= metrics.task_completion_ratio <= 1.0
+    assert metrics.scheduler == "TAPS"
+
+
+def test_all_six_schedulers_constructible_via_api():
+    for name in ("Fair Sharing", "D3", "PDQ", "Baraat", "Varys", "TAPS"):
+        assert repro.make_scheduler(name).name == name

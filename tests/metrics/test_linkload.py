@@ -1,0 +1,81 @@
+"""Per-link utilization accounting."""
+
+import pytest
+
+from repro.metrics.linkload import LinkLoadCollector
+from repro.sched.fair import FairSharing
+from repro.core.controller import TapsScheduler
+from repro.sim.engine import Engine
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell
+
+
+def _run(topo, tasks, sched):
+    load = LinkLoadCollector(topo)
+    result = Engine(topo, tasks, sched, hooks=(load,)).run()
+    load.finalize(result.flow_states)
+    return load, result
+
+
+def test_single_flow_charges_whole_path():
+    topo = dumbbell(1)
+    tasks = [make_task(0, 0.0, 10.0, [("L0", "R0", 2.0)], 0)]
+    load, result = _run(topo, tasks, TapsScheduler())
+    rows = load.utilization(horizon=result.finished_at)
+    # 3 links on the path, each carried the full 2 bytes
+    assert len(rows) == 3
+    for row in rows:
+        assert row.bytes_total == pytest.approx(2.0, rel=1e-4)
+        assert row.bytes_useful == pytest.approx(2.0, rel=1e-4)
+        assert row.bytes_wasted == pytest.approx(0.0, abs=1e-6)
+
+
+def test_utilization_fraction():
+    topo = dumbbell(1)  # capacity 1
+    tasks = [make_task(0, 0.0, 10.0, [("L0", "R0", 2.0)], 0)]
+    load, result = _run(topo, tasks, TapsScheduler())
+    rows = load.utilization(horizon=4.0)
+    # 2 byte-seconds over 4 s of capacity-1 → 50%
+    for row in rows:
+        assert row.utilization == pytest.approx(0.5, rel=1e-4)
+
+
+def test_wasted_bytes_attributed_to_missed_flows():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 100.0, [("L0", "R0", 2.0)], 0),   # meets
+        make_task(1, 0.0, 1.0, [("L1", "R1", 50.0)], 1),    # misses
+    ]
+    load, result = _run(topo, tasks, FairSharing())
+    rows = {(r.src, r.dst): r for r in load.utilization(result.finished_at)}
+    shared = rows[("SL", "SR")]
+    assert shared.bytes_wasted > 0
+    assert shared.bytes_useful == pytest.approx(2.0, rel=1e-3)
+
+
+def test_hottest_orders_by_volume():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 100.0, [("L0", "R0", 5.0)], 0),
+        make_task(1, 0.0, 100.0, [("L1", "R1", 1.0)], 1),
+    ]
+    load, result = _run(topo, tasks, FairSharing())
+    top = load.hottest(result.finished_at, n=1)[0]
+    # the shared middle link carries both flows' bytes
+    assert (top.src, top.dst) == ("SL", "SR")
+    assert top.bytes_total == pytest.approx(6.0, rel=1e-3)
+
+
+def test_idle_links_absent():
+    topo = dumbbell(3)
+    tasks = [make_task(0, 0.0, 100.0, [("L0", "R0", 1.0)], 0)]
+    load, result = _run(topo, tasks, FairSharing())
+    rows = load.utilization(result.finished_at)
+    touched = {(r.src, r.dst) for r in rows}
+    assert ("L1", "SL") not in touched
+
+
+def test_bad_horizon():
+    load = LinkLoadCollector(dumbbell(1))
+    with pytest.raises(ValueError):
+        load.utilization(horizon=0.0)

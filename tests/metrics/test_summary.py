@@ -1,0 +1,99 @@
+"""RunMetrics derivation from simulation results."""
+
+import pytest
+
+from repro.metrics.summary import summarize
+from repro.sched.baraat import Baraat
+from repro.sched.fair import FairSharing
+from repro.core.controller import TapsScheduler
+from repro.sim.engine import Engine
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell, fig1_trace
+
+
+def test_fig1_fair_sharing_metrics():
+    topo, tasks = fig1_trace()
+    m = summarize(Engine(topo, tasks, FairSharing()).run())
+    assert m.num_tasks == 2
+    assert m.num_flows == 4
+    assert m.flows_met == 1
+    assert m.tasks_completed == 0
+    assert m.task_completion_ratio == 0.0
+    assert m.flow_completion_ratio == pytest.approx(0.25)
+    # only f21 (size 1) of the 10 total units arrives in time
+    assert m.application_throughput == pytest.approx(0.1)
+
+
+def test_wasted_bandwidth_flow_level():
+    """Bytes pushed by deadline-missing flows count as waste."""
+    topo = dumbbell(1)
+    tasks = [make_task(0, 0.0, 2.0, [("L0", "R0", 10.0)], 0)]
+    m = summarize(Engine(topo, tasks, FairSharing()).run())
+    # 2 of 10 units pushed before the miss
+    assert m.wasted_bytes == pytest.approx(2.0)
+    assert m.wasted_bandwidth_ratio == pytest.approx(0.2)
+
+
+def test_task_level_waste_includes_completed_siblings():
+    """A flow finishing in time inside a failed task is task-level waste
+    but not flow-level waste."""
+    topo = dumbbell(2)
+    tasks = [make_task(0, 0.0, 3.0,
+                       [("L0", "R0", 1.0), ("L1", "R1", 30.0)], 0)]
+    m = summarize(Engine(topo, tasks, Baraat(stop_missed_flows=False)).run())
+    assert m.tasks_completed == 0
+    # flow 0 met its deadline: not flow-level waste
+    assert m.flows_met == 1
+    assert m.wasted_bytes == pytest.approx(30.0)     # the doomed sibling, fully sent
+    assert m.task_wasted_ratio > m.wasted_bandwidth_ratio
+
+
+def test_taps_zero_waste():
+    topo, tasks = fig1_trace()
+    m = summarize(Engine(topo, tasks, TapsScheduler()).run())
+    assert m.wasted_bytes == 0.0
+    assert m.flows_rejected == 2  # the rejected task's flows
+
+
+def test_ratios_bounded():
+    topo, tasks = fig1_trace()
+    for sched in (FairSharing(), Baraat(), TapsScheduler()):
+        topo2, tasks2 = fig1_trace()
+        m = summarize(Engine(topo2, tasks2, sched).run())
+        for v in (m.task_completion_ratio, m.flow_completion_ratio,
+                  m.application_throughput, m.wasted_bandwidth_ratio):
+            assert 0.0 <= v <= 1.0
+
+
+def test_as_dict_roundtrip():
+    topo, tasks = fig1_trace()
+    m = summarize(Engine(topo, tasks, FairSharing()).run())
+    d = m.as_dict()
+    assert d["scheduler"] == "Fair Sharing"
+    assert d["num_flows"] == 4
+
+
+def test_task_size_completion_ratio_stricter_than_throughput():
+    """A flow meeting its deadline inside a failed task counts for
+    application throughput but not for task-size completion."""
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 5.0, [("L0", "R0", 1.0)], 0),                  # completes
+        make_task(1, 0.0, 3.0, [("L1", "R1", 1.0), ("L1", "R1", 9.0)], 1),  # fails
+    ]
+    from repro.sched.pdq import PDQ
+
+    m = summarize(Engine(topo, tasks, PDQ()).run())
+    assert m.tasks_completed == 1
+    # task 0's 1 byte of 11 total
+    assert m.task_size_completion_ratio == pytest.approx(1 / 11)
+    assert m.application_throughput >= m.task_size_completion_ratio
+
+
+def test_task_size_equals_throughput_when_all_tasks_complete():
+    topo = dumbbell(2)
+    tasks = [make_task(i, 0.0, 50.0, [(f"L{i}", f"R{i}", 2.0)], i)
+             for i in range(2)]
+    m = summarize(Engine(topo, tasks, TapsScheduler()).run())
+    assert m.task_size_completion_ratio == pytest.approx(1.0)
+    assert m.application_throughput == pytest.approx(1.0)

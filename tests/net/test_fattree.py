@@ -1,0 +1,100 @@
+"""k-ary fat-tree: structure and multi-path enumeration (paper §V-A)."""
+
+import pytest
+
+from repro.net.fattree import FatTree
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def ft4():
+    return FatTree(k=4)
+
+
+class TestStructure:
+    def test_host_count(self, ft4):
+        assert len(ft4.hosts) == 4**3 // 4 == ft4.num_hosts
+
+    def test_switch_counts(self, ft4):
+        names = list(ft4.switches)
+        assert sum(1 for s in names if s.startswith("c")) == 4  # (k/2)^2
+        assert sum(1 for s in names if s.startswith("a")) == 8  # k*k/2
+        assert sum(1 for s in names if s.startswith("e")) == 8
+
+    def test_link_count(self, ft4):
+        # cables: core-agg k*(k/2)*(k/2)=16, agg-edge 16, edge-host 16 → 96 directed
+        assert ft4.num_links == 96
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTree(k=3)
+        with pytest.raises(TopologyError):
+            FatTree(k=0)
+
+    def test_k2_minimal(self):
+        t = FatTree(k=2)
+        assert len(t.hosts) == 2
+        t.validate()
+
+    def test_connected(self, ft4):
+        ft4.validate()
+
+
+class TestMultipath:
+    def test_same_edge_single_path(self, ft4):
+        paths = ft4.candidate_paths("h0_0_0", "h0_0_1")
+        assert len(paths) == 1
+        assert len(paths[0]) == 2
+
+    def test_same_pod_k_over_2_paths(self, ft4):
+        paths = ft4.candidate_paths("h0_0_0", "h0_1_0")
+        assert len(paths) == 2  # one per aggregation switch
+        assert all(len(p) == 4 for p in paths)
+
+    def test_cross_pod_core_squared_paths(self, ft4):
+        paths = ft4.candidate_paths("h0_0_0", "h1_0_0")
+        assert len(paths) == 4  # (k/2)^2 = one per core switch
+        assert all(len(p) == 6 for p in paths)
+
+    def test_paths_distinct(self, ft4):
+        paths = ft4.candidate_paths("h0_0_0", "h3_1_1")
+        assert len(set(paths)) == len(paths)
+
+    def test_paths_share_only_access_links(self, ft4):
+        paths = ft4.candidate_paths("h0_0_0", "h1_0_0")
+        first, last = paths[0][0], paths[0][-1]
+        inner = [set(p[1:-1]) for p in paths]
+        for p in paths:
+            assert p[0] == first and p[-1] == last
+        # every pair of inner segments differs somewhere
+        for i in range(len(inner)):
+            for j in range(i + 1, len(inner)):
+                assert inner[i] != inner[j]
+
+    def test_max_paths_cap(self, ft4):
+        assert len(ft4.candidate_paths("h0_0_0", "h1_0_0", max_paths=2)) == 2
+
+    def test_paths_are_valid_chains(self, ft4):
+        links = ft4.links
+        for p in ft4.candidate_paths("h0_1_1", "h2_0_1"):
+            assert links[p[0]].src == "h0_1_1"
+            assert links[p[-1]].dst == "h2_0_1"
+            for a, b in zip(p, p[1:]):
+                assert links[a].dst == links[b].src
+
+    def test_matches_graph_shortest_length(self, ft4):
+        import networkx as nx
+
+        g = ft4.graph()
+        for src, dst in [("h0_0_0", "h0_0_1"), ("h0_0_0", "h0_1_0"),
+                         ("h0_0_0", "h2_1_1")]:
+            closed = ft4.candidate_paths(src, dst)
+            expect = nx.shortest_path_length(g, src, dst)
+            assert all(len(p) == expect for p in closed)
+            # closed-form enumeration is exhaustive
+            n_graph = sum(1 for _ in nx.all_shortest_paths(g, src, dst))
+            assert len(closed) == n_graph
+
+    def test_same_host_raises(self, ft4):
+        with pytest.raises(TopologyError):
+            ft4.candidate_paths("h0_0_0", "h0_0_0")

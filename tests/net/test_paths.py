@@ -1,0 +1,67 @@
+"""PathService caching and flow-level ECMP."""
+
+import pytest
+
+from repro.net.fattree import FatTree
+from repro.net.paths import PathService, ecmp_hash
+
+
+@pytest.fixture
+def svc():
+    return PathService(FatTree(k=4))
+
+
+class TestEcmpHash:
+    def test_deterministic(self):
+        assert ecmp_hash(5, "a", "b", 7) == ecmp_hash(5, "a", "b", 7)
+
+    def test_in_range(self):
+        for fid in range(50):
+            assert 0 <= ecmp_hash(fid, "x", "y", 4) < 4
+
+    def test_spreads_across_choices(self):
+        picks = {ecmp_hash(fid, "h0", "h1", 4) for fid in range(100)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_sensitive_to_endpoints(self):
+        a = [ecmp_hash(i, "s1", "d1", 16) for i in range(40)]
+        b = [ecmp_hash(i, "s2", "d2", 16) for i in range(40)]
+        assert a != b
+
+    def test_single_choice(self):
+        assert ecmp_hash(123, "a", "b", 1) == 0
+
+    def test_zero_choices_rejected(self):
+        with pytest.raises(ValueError):
+            ecmp_hash(1, "a", "b", 0)
+
+
+class TestPathService:
+    def test_candidates_cached(self, svc):
+        p1 = svc.candidates("h0_0_0", "h1_0_0")
+        p2 = svc.candidates("h0_0_0", "h1_0_0")
+        assert p1 is p2  # same list object = cache hit
+
+    def test_cache_info(self, svc):
+        svc.candidates("h0_0_0", "h1_0_0")
+        svc.candidates("h0_0_0", "h0_1_0")
+        info = svc.cache_info()
+        assert info["pairs"] == 2
+        assert info["paths"] == 4 + 2
+
+    def test_max_paths_respected(self):
+        svc = PathService(FatTree(k=4), max_paths=2)
+        assert len(svc.candidates("h0_0_0", "h1_0_0")) == 2
+
+    def test_ecmp_path_is_a_candidate(self, svc):
+        p = svc.ecmp_path(9, "h0_0_0", "h1_0_0")
+        assert p in svc.candidates("h0_0_0", "h1_0_0")
+
+    def test_ecmp_path_stable_per_flow(self, svc):
+        assert svc.ecmp_path(9, "h0_0_0", "h1_0_0") == svc.ecmp_path(
+            9, "h0_0_0", "h1_0_0"
+        )
+
+    def test_ecmp_spreads_flows(self, svc):
+        paths = {svc.ecmp_path(i, "h0_0_0", "h1_0_0") for i in range(100)}
+        assert len(paths) == 4

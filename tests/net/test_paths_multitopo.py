@@ -1,0 +1,69 @@
+"""PathService across every topology family (shared behaviours)."""
+
+import pytest
+
+from repro.net.bcube import BCube
+from repro.net.fattree import FatTree
+from repro.net.ficonn import FiConn
+from repro.net.paths import PathService
+from repro.net.testbed import PartialFatTreeTestbed
+from repro.net.trees import SingleRootedTree
+
+TOPOLOGIES = {
+    "tree": lambda: SingleRootedTree(2, 2, 2),
+    "fat-tree": lambda: FatTree(4),
+    "bcube": lambda: BCube(4, 1),
+    "ficonn": lambda: FiConn(4, 1),
+    "testbed": lambda: PartialFatTreeTestbed(),
+}
+
+
+@pytest.fixture(params=sorted(TOPOLOGIES), ids=sorted(TOPOLOGIES))
+def topo(request):
+    return TOPOLOGIES[request.param]()
+
+
+def test_candidates_nonempty_for_all_pairs(topo):
+    svc = PathService(topo, max_paths=4)
+    hosts = list(topo.hosts)[:6]
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            paths = svc.candidates(src, dst)
+            assert paths
+            assert all(len(p) >= 1 for p in paths)
+
+
+def test_paths_are_chains_ending_at_endpoints(topo):
+    svc = PathService(topo, max_paths=4)
+    hosts = list(topo.hosts)
+    src, dst = hosts[0], hosts[-1]
+    links = topo.links
+    for p in svc.candidates(src, dst):
+        assert links[p[0]].src == src
+        assert links[p[-1]].dst == dst
+        for a, b in zip(p, p[1:]):
+            assert links[a].dst == links[b].src
+
+
+def test_candidates_are_distinct(topo):
+    svc = PathService(topo, max_paths=8)
+    hosts = list(topo.hosts)
+    paths = svc.candidates(hosts[0], hosts[-1])
+    assert len(set(paths)) == len(paths)
+
+
+def test_ecmp_deterministic_per_flow(topo):
+    svc = PathService(topo, max_paths=8)
+    hosts = list(topo.hosts)
+    src, dst = hosts[0], hosts[-1]
+    for fid in range(10):
+        assert svc.ecmp_path(fid, src, dst) == svc.ecmp_path(fid, src, dst)
+
+
+def test_max_paths_cap_respected(topo):
+    svc = PathService(topo, max_paths=2)
+    hosts = list(topo.hosts)
+    for dst in hosts[1:5]:
+        assert len(svc.candidates(hosts[0], dst)) <= 2

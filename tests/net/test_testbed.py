@@ -1,0 +1,63 @@
+"""The Fig. 13 partial fat-tree testbed."""
+
+import pytest
+
+from repro.net.testbed import PartialFatTreeTestbed
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def tb():
+    return PartialFatTreeTestbed()
+
+
+def test_eight_hosts_across_four_racks(tb):
+    assert len(tb.hosts) == 8
+    edges = [s for s in tb.switches if s.startswith("e")]
+    assert len(edges) == 4
+
+
+def test_two_pods_two_cores(tb):
+    assert sum(1 for s in tb.switches if s.startswith("c")) == 2
+    assert sum(1 for s in tb.switches if s.startswith("a")) == 4
+
+
+def test_gigabit_links(tb):
+    assert tb.uniform_capacity() == pytest.approx(1e9 / 8)
+
+
+def test_connected(tb):
+    tb.validate()
+
+
+def test_same_rack_single_path(tb):
+    paths = tb.candidate_paths("h0_0_0", "h0_0_1")
+    assert len(paths) == 1 and len(paths[0]) == 2
+
+
+def test_same_pod_two_paths(tb):
+    paths = tb.candidate_paths("h0_0_0", "h0_1_0")
+    assert len(paths) == 2 and all(len(p) == 4 for p in paths)
+
+
+def test_cross_pod_two_paths_via_cores(tb):
+    paths = tb.candidate_paths("h0_0_0", "h1_1_1")
+    assert len(paths) == 2 and all(len(p) == 6 for p in paths)
+    cores = {tb.links[p[3]].src for p in paths}  # 4th link leaves the core
+    assert cores == {"c0", "c1"}
+
+
+def test_chains_valid(tb):
+    links = tb.links
+    for p in tb.candidate_paths("h0_1_0", "h1_0_1"):
+        for a, b in zip(p, p[1:]):
+            assert links[a].dst == links[b].src
+
+
+def test_same_host_raises(tb):
+    with pytest.raises(TopologyError):
+        tb.candidate_paths("h0_0_0", "h0_0_0")
+
+
+def test_max_paths(tb):
+    assert len(tb.candidate_paths("h0_0_0", "h1_0_0", max_paths=1)) == 1

@@ -1,0 +1,84 @@
+"""Single-rooted tree: structure and closed-form routing (paper Fig. 5)."""
+
+import pytest
+
+from repro.net.trees import SingleRootedTree
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def tree():
+    return SingleRootedTree(servers_per_rack=3, racks_per_pod=2, pods=2)
+
+
+class TestStructure:
+    def test_host_count(self, tree):
+        assert len(tree.hosts) == 3 * 2 * 2
+
+    def test_switch_count(self, tree):
+        # 1 core + 2 agg + 4 tor
+        assert len(tree.switches) == 1 + 2 + 4
+
+    def test_link_count(self, tree):
+        # cables: hosts(12) + tor-agg(4) + agg-core(2) = 18 → 36 directed
+        assert tree.num_links == 36
+
+    def test_uniform_capacity(self, tree):
+        assert tree.uniform_capacity() == tree.default_capacity
+
+    def test_paper_dimensions_by_default(self):
+        t = SingleRootedTree.__init__.__defaults__
+        assert t[:3] == (40, 30, 30)  # 36,000 servers (not built here)
+
+    def test_invalid_fanout(self):
+        with pytest.raises(TopologyError):
+            SingleRootedTree(servers_per_rack=0)
+
+    def test_connected(self, tree):
+        tree.validate()
+
+
+class TestRouting:
+    def test_same_rack_two_hops(self, tree):
+        p = tree.shortest_path("h0_0_0", "h0_0_1")
+        assert len(p) == 2  # host->tor->host
+
+    def test_same_pod_four_hops(self, tree):
+        p = tree.shortest_path("h0_0_0", "h0_1_0")
+        assert len(p) == 4  # host->tor->agg->tor->host
+
+    def test_cross_pod_six_hops(self, tree):
+        p = tree.shortest_path("h0_0_0", "h1_1_2")
+        assert len(p) == 6  # through the core
+
+    def test_unique_candidate(self, tree):
+        assert len(tree.candidate_paths("h0_0_0", "h1_0_0")) == 1
+
+    def test_closed_form_matches_graph_search(self, tree):
+        import networkx as nx
+
+        g = tree.graph()
+        for src, dst in [("h0_0_0", "h0_0_2"), ("h0_0_1", "h0_1_0"),
+                         ("h0_1_2", "h1_0_1")]:
+            closed = tree.shortest_path(src, dst)
+            assert len(closed) == nx.shortest_path_length(g, src, dst)
+
+    def test_path_links_chain(self, tree):
+        p = tree.shortest_path("h0_0_0", "h1_1_1")
+        links = tree.links
+        for a, b in zip(p, p[1:]):
+            assert links[a].dst == links[b].src
+        assert links[p[0]].src == "h0_0_0"
+        assert links[p[-1]].dst == "h1_1_1"
+
+    def test_same_host_raises(self, tree):
+        with pytest.raises(TopologyError):
+            tree.shortest_path("h0_0_0", "h0_0_0")
+
+    def test_non_host_raises(self, tree):
+        with pytest.raises(TopologyError):
+            tree.shortest_path("tor0_0", "h0_0_0")
+
+    def test_malformed_host_raises(self, tree):
+        with pytest.raises(TopologyError):
+            tree.shortest_path("hX_Y_Z", "h0_0_0")

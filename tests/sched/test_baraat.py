@@ -1,0 +1,94 @@
+"""Baraat: FIFO task order, SJF within a task, deadline-agnostic."""
+
+import pytest
+
+from repro.sched.baraat import Baraat
+from repro.sim.engine import Engine
+from repro.sim.state import FlowStatus
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell, fig2_trace
+
+
+def test_earlier_task_has_priority_regardless_of_deadline():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 50.0, [("L0", "R0", 3.0)], 0),  # lax deadline, first
+        make_task(1, 1.0, 3.0, [("L1", "R1", 1.0)], 1),   # urgent, second
+    ]
+    result = Engine(topo, tasks, Baraat()).run()
+    by_id = {fs.flow.flow_id: fs for fs in result.flow_states}
+    # FIFO: task 0 keeps the link; the urgent task is starved until its
+    # deadline passes and the no-useless-transmission courtesy stops it
+    assert by_id[0].completed_at == pytest.approx(3.0)
+    assert by_id[1].status is FlowStatus.TERMINATED
+    assert not by_id[1].met_deadline
+
+
+def test_sjf_within_task():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 50.0,
+                  [("L0", "R0", 5.0), ("L1", "R1", 2.0)], 0),
+    ]
+    result = Engine(topo, tasks, Baraat()).run()
+    by_id = {fs.flow.flow_id: fs for fs in result.flow_states}
+    assert by_id[1].completed_at == pytest.approx(2.0)  # shorter first
+    assert by_id[0].completed_at == pytest.approx(7.0)
+
+
+def test_doomed_flow_wastes_until_deadline_then_stops():
+    """Deadline-agnostic scheduling pushes the doomed flow, but the §V-A
+    no-useless-transmission courtesy stops it once the deadline passes."""
+    topo = dumbbell(1)
+    tasks = [make_task(0, 0.0, 2.0, [("L0", "R0", 10.0)], 0)]
+    result = Engine(topo, tasks, Baraat()).run()
+    fs = result.flow_states[0]
+    assert fs.status is FlowStatus.TERMINATED
+    assert fs.bytes_sent == pytest.approx(2.0)  # wasted dribble
+
+
+def test_oblivious_variant_transmits_past_deadline():
+    topo = dumbbell(1)
+    tasks = [make_task(0, 0.0, 2.0, [("L0", "R0", 10.0)], 0)]
+    result = Engine(topo, tasks, Baraat(stop_missed_flows=False)).run()
+    fs = result.flow_states[0]
+    assert fs.status is FlowStatus.COMPLETED
+    assert fs.completed_at == pytest.approx(10.0)
+    assert not fs.met_deadline
+    assert fs.bytes_sent == pytest.approx(10.0)
+
+
+def test_fig2_t2_always_fails():
+    """Paper Fig. 2(b): Baraat's FIFO makes the urgent task t2 miss."""
+    topo, tasks = fig2_trace()
+    result = Engine(topo, tasks, Baraat()).run()
+    by_tid = {ts.task.task_id: ts for ts in result.task_states}
+    assert by_tid[1].outcome.value == "failed"
+
+
+def test_later_task_fills_idle_disjoint_links():
+    """FIFO priority never blocks flows on disjoint paths."""
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 50.0, [("L0", "R0", 2.0)], 0),
+        make_task(1, 0.0, 50.0, [("L1", "R1", 2.0)], 1),
+    ]
+    # both cross the shared middle link — serialize
+    result = Engine(topo, tasks, Baraat()).run()
+    by_id = {fs.flow.flow_id: fs for fs in result.flow_states}
+    assert by_id[0].completed_at == pytest.approx(2.0)
+    assert by_id[1].completed_at == pytest.approx(4.0)
+
+
+def test_task_serial_is_arrival_order_not_id():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(5, 1.0, 51.0, [("L0", "R0", 2.0)], 0),  # higher id, arrives later
+        make_task(2, 0.0, 50.0, [("L1", "R1", 2.0)], 1),  # lower id, first
+    ]
+    result = Engine(topo, tasks, Baraat()).run()
+    by_tid = {ts.task.task_id: ts for ts in result.task_states}
+    f_first = by_tid[2].flow_states[0]
+    f_second = by_tid[5].flow_states[0]
+    assert f_first.completed_at == pytest.approx(2.0)
+    assert f_second.completed_at == pytest.approx(4.0)

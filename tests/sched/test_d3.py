@@ -1,0 +1,121 @@
+"""D3: FCFS greedy deadline-rate allocation."""
+
+import pytest
+
+from repro.sched.d3 import D3
+from repro.sim.engine import Engine
+from repro.sim.state import FlowStatus
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell, fig1_trace
+
+
+def _admit(topo, tasks):
+    """Build an engine, deliver all t=0 arrivals, return the scheduler."""
+    engine = Engine(topo, tasks, D3())
+    sched = engine.scheduler
+    sched.attach(topo, engine.path_service)
+    for ts in engine.task_states:
+        sched.on_task_arrival(ts, 0.0)
+    sched.assign_rates(0.0)
+    return sched
+
+
+def test_request_rate_is_remaining_over_time_to_deadline():
+    topo = dumbbell(1)
+    tasks = [make_task(0, 0.0, 4.0, [("L0", "R0", 2.0)], 0)]
+    sched = _admit(topo, tasks)
+    fs = sched.active_flows[0]
+    # alone on the link: request 2/4 = 0.5, leftover tops it up to capacity
+    assert fs.rate == pytest.approx(1.0)
+
+
+def test_fcfs_blocking_matches_paper_fig1():
+    """Paper Fig. 1(c) walk-through: f11 (earlier) gets its request 1/2,
+    f12 takes the remaining 1/2, later flows get 0 at t=0."""
+    topo, tasks = fig1_trace()
+    sched = _admit(topo, tasks)
+    rates = {fs.flow.flow_id: fs.rate for fs in sched.active_flows}
+    assert rates[0] == pytest.approx(0.5)  # f11 requests 2/4 granted
+    assert rates[1] == pytest.approx(0.5)  # f12 requests 1, gets leftover
+    assert rates[2] == pytest.approx(0.0)
+    assert rates[3] == pytest.approx(0.0)
+
+
+def test_fig1_outcome_one_flow_no_tasks():
+    topo, tasks = fig1_trace()
+    result = Engine(topo, tasks, D3()).run()
+    assert result.flows_met == 1
+    assert result.tasks_completed == 0
+    winner = [fs for fs in result.flow_states if fs.met_deadline][0]
+    assert winner.flow.flow_id == 0  # f11, the early large requester
+
+
+def test_leftover_distribution_caps_at_capacity():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 10.0, [("L0", "R0", 1.0)], 0),
+        make_task(1, 0.0, 10.0, [("L1", "R1", 1.0)], 1),
+    ]
+    sched = _admit(topo, tasks)
+    total = sum(fs.rate for fs in sched.active_flows)
+    assert total <= 1.0 + 1e-9  # never oversubscribe the bottleneck
+
+
+def test_missed_flow_quits():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 2.0, [("L0", "R0", 10.0)], 0),
+        make_task(1, 0.0, 50.0, [("L1", "R1", 10.0)], 1),
+    ]
+    result = Engine(topo, tasks, D3()).run()
+    by_id = {fs.flow.flow_id: fs for fs in result.flow_states}
+    assert by_id[0].status is FlowStatus.TERMINATED
+    # after flow 0 quits at its deadline, flow 1 should still finish
+    assert by_id[1].status is FlowStatus.COMPLETED
+
+
+def test_rates_readjust_after_completion():
+    topo = dumbbell(2)
+    tasks = [
+        make_task(0, 0.0, 100.0, [("L0", "R0", 1.0)], 0),
+        make_task(1, 0.0, 100.0, [("L1", "R1", 5.0)], 1),
+    ]
+    result = Engine(topo, tasks, D3()).run()
+    by_id = {fs.flow.flow_id: fs for fs in result.flow_states}
+    # both requests are tiny; leftover split keeps them at 1/2 each;
+    # flow 0 done at 2, then flow 1 runs at ~1 → 5-1=4 left → done ≈ 6
+    assert by_id[1].completed_at == pytest.approx(6.0, rel=1e-3)
+
+
+def test_admits_every_task():
+    topo = dumbbell(1)
+    tasks = [make_task(0, 0.0, 0.01, [("L0", "R0", 100.0)], 0)]
+    result = Engine(topo, tasks, D3()).run()
+    assert result.task_states[0].accepted is True
+
+
+class TestAllocationPeriod:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            D3(allocation_period=0)
+
+    def test_default_no_change_points(self):
+        assert D3().next_change(5.0) is None
+
+    def test_periodic_refresh_updates_requests(self):
+        """With periodic renegotiation a flow's request grows as its
+        slack shrinks; behaviour converges to the event-driven model."""
+        topo = dumbbell(2)
+        tasks = [
+            make_task(0, 0.0, 4.0, [("L0", "R0", 2.0)], 0),
+            make_task(1, 0.0, 8.0, [("L1", "R1", 2.0)], 1),
+        ]
+        ideal = Engine(topo, tasks, D3()).run()
+        rtt = Engine(topo, tasks, D3(allocation_period=0.05)).run()
+        # both complete everything; the periodic variant does more work
+        assert ideal.flows_met == rtt.flows_met == 2
+        assert rtt.counters.rate_recomputes > ideal.counters.rate_recomputes
+
+    def test_refresh_stops_when_idle(self):
+        sched = D3(allocation_period=0.1)
+        assert sched.next_change(0.0) is None  # no active flows yet

@@ -1,0 +1,68 @@
+"""Switch flow tables with the §IV-C size limits."""
+
+import pytest
+
+from repro.sdn.switch import FlowTable, SdnSwitch
+from repro.util.errors import ConfigurationError
+
+
+class TestFlowTable:
+    def test_install_and_lookup(self):
+        t = FlowTable()
+        assert t.install(1, "next-hop")
+        assert t.lookup(1) == "next-hop"
+        assert len(t) == 1
+
+    def test_missing_lookup(self):
+        assert FlowTable().lookup(99) is None
+
+    def test_withdraw(self):
+        t = FlowTable()
+        t.install(1, "x")
+        assert t.withdraw(1)
+        assert not t.withdraw(1)
+        assert t.lookup(1) is None
+
+    def test_install_limit_enforced(self):
+        t = FlowTable(capacity=10, install_limit=3)
+        for i in range(3):
+            assert t.install(i, "p")
+        assert not t.install(99, "p")
+        assert t.rejected_installs == 1
+        assert len(t) == 3
+
+    def test_reinstall_same_flow_updates(self):
+        t = FlowTable(capacity=10, install_limit=1)
+        assert t.install(1, "a")
+        assert t.install(1, "b")  # update, not a new entry
+        assert t.lookup(1) == "b"
+
+    def test_withdraw_frees_slot(self):
+        t = FlowTable(capacity=10, install_limit=1)
+        t.install(1, "a")
+        t.withdraw(1)
+        assert t.install(2, "b")
+
+    def test_paper_defaults(self):
+        t = FlowTable()
+        assert t.capacity == 2000
+        assert t.install_limit == 1000
+
+    def test_limit_above_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowTable(capacity=10, install_limit=11)
+
+    def test_utilization(self):
+        t = FlowTable(capacity=10, install_limit=4)
+        t.install(1, "a")
+        assert t.utilization() == pytest.approx(0.25)
+
+
+class TestSdnSwitch:
+    def test_forward_counts(self):
+        sw = SdnSwitch(name="s1")
+        sw.table.install(7, "next")
+        assert sw.forward(7) == "next"
+        assert sw.forward(8) is None
+        assert sw.forwarded == 1
+        assert sw.dropped == 1

@@ -1,0 +1,128 @@
+"""Packet-level cross-validation of the fluid model.
+
+Every fluid-model completion time must be reproducible by a
+store-and-forward packet simulation up to the pipeline error bound
+``(hops + queue transient) · dt`` — evidence the flow-level abstraction
+(the paper's and ours) does not distort the comparisons.
+"""
+
+import pytest
+
+from repro.core.controller import TapsScheduler
+from repro.net.paths import PathService
+from repro.sched.fair import FairSharing
+from repro.sim.engine import Engine
+from repro.sim.packet import PacketSimulator
+from repro.util.errors import ConfigurationError
+from repro.workload.flow import make_task
+from repro.workload.traces import dumbbell
+
+DT = 0.01  # 1% of a unit-time — fine-grained packets
+
+
+class TestMechanics:
+    def test_invalid_dt(self):
+        with pytest.raises(ConfigurationError):
+            PacketSimulator(dumbbell(1), dt=0)
+
+    def test_single_flow_pipeline_time(self):
+        """size S over h hops completes in ≈ S/C + (h-1)·dt (pipelining)."""
+        topo = dumbbell(1)
+        sim = PacketSimulator(topo, dt=DT)
+        path = topo.shortest_path("L0", "R0")  # 3 hops
+        sim.add_flow(0, path, size=1.0, release=0.0)
+        out = sim.run()[0]
+        expect = 1.0 + (len(path) - 1) * DT
+        assert out.completed_at == pytest.approx(expect, abs=2 * DT)
+
+    def test_release_respected(self):
+        topo = dumbbell(1)
+        sim = PacketSimulator(topo, dt=DT)
+        sim.add_flow(0, topo.shortest_path("L0", "R0"), 0.5, release=2.0)
+        out = sim.run()[0]
+        assert out.completed_at >= 2.0 + 0.5
+
+    def test_two_flows_share_bottleneck_fairly(self):
+        topo = dumbbell(2)
+        sim = PacketSimulator(topo, dt=DT)
+        for i in range(2):
+            sim.add_flow(i, topo.shortest_path(f"L{i}", f"R{i}"), 1.0, 0.0)
+        out = sim.run()
+        # both ≈ 2.0 (fair round-robin on the shared middle link)
+        for fid in (0, 1):
+            assert out[fid].completed_at == pytest.approx(2.0, abs=0.1)
+
+
+class TestFluidAgreement:
+    def _fluid_times(self, topo, tasks, scheduler):
+        result = Engine(topo, tasks, scheduler).run()
+        return {
+            fs.flow.flow_id: fs.completed_at for fs in result.flow_states
+        }
+
+    def test_fair_sharing_matches_fluid_on_dumbbell(self):
+        topo = dumbbell(3)
+        tasks = [
+            make_task(0, 0.0, 99.0, [("L0", "R0", 1.0)], 0),
+            make_task(1, 0.0, 99.0, [("L1", "R1", 2.0)], 1),
+            make_task(2, 0.5, 99.5, [("L2", "R2", 1.0)], 2),
+        ]
+        fluid = self._fluid_times(dumbbell(3), tasks, FairSharing())
+
+        sim = PacketSimulator(topo, dt=DT)
+        paths = PathService(topo)
+        sim.add_tasks(tasks, paths)
+        packet = sim.run()
+        for fid, t_fluid in fluid.items():
+            t_packet = packet[fid].completed_at
+            # pipeline + round-robin transient tolerance
+            assert t_packet == pytest.approx(t_fluid, abs=0.15), fid
+
+    def test_taps_slices_match_fluid_on_dumbbell(self):
+        """Feed TAPS' committed slices into the packet simulator: packet
+        completions land at the slice ends (± pipeline delay)."""
+        topo = dumbbell(2)
+        tasks = [
+            make_task(0, 0.0, 99.0, [("L0", "R0", 1.0)], 0),
+            make_task(1, 0.0, 99.0, [("L1", "R1", 2.0)], 1),
+        ]
+        sched = TapsScheduler()
+        engine = Engine(topo, tasks, sched)
+        sched.attach(topo, engine.path_service)
+        for ts in engine.task_states:
+            sched.on_task_arrival(ts, 0.0)
+        plans = {fid: p for fid, p in sched.plans.items()}
+
+        sim = PacketSimulator(topo, dt=DT)
+        for fid, plan in plans.items():
+            f = plan.flow_state.flow
+            sim.add_flow(fid, plan.path, f.size, f.release,
+                         slices=plan.slices)
+        packet = sim.run()
+        for fid, plan in plans.items():
+            hops = len(plan.path)
+            assert packet[fid].completed_at == pytest.approx(
+                plan.completion, abs=(hops + 1) * DT
+            ), fid
+
+    def test_taps_fig1_schedule_packet_level(self):
+        """The paper's Fig. 1(e) outcome survives packetisation: t2's two
+        flows complete by their deadline at packet granularity too."""
+        from repro.workload.traces import fig1_trace
+
+        topo, tasks = fig1_trace()
+        sched = TapsScheduler()
+        engine = Engine(topo, tasks, sched)
+        sched.attach(topo, engine.path_service)
+        for ts in engine.task_states:
+            sched.on_task_arrival(ts, ts.task.arrival)
+
+        sim = PacketSimulator(topo, dt=DT)
+        for fid, plan in sched.plans.items():
+            f = plan.flow_state.flow
+            sim.add_flow(fid, plan.path, f.size, f.release, slices=plan.slices)
+        packet = sim.run()
+        for fid, plan in sched.plans.items():
+            deadline = plan.flow_state.flow.deadline
+            slack = (len(plan.path) + 1) * DT
+            assert packet[fid].completed_at <= deadline + slack

@@ -1,0 +1,22 @@
+"""Doctest runner for modules whose docstrings carry executable examples.
+
+Keeps the README/quickstart snippets honest: if the public API drifts,
+these fail before a user's copy-paste does.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.util.units
+
+
+@pytest.mark.parametrize("module", [repro, repro.util.units],
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    # ensure the quickstart example actually ran (repro has one)
+    assert result.failed == 0
+    if module is repro:
+        assert result.attempted > 0

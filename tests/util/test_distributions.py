@@ -1,0 +1,108 @@
+"""Empirical CDFs and heavy-tailed samplers."""
+
+import numpy as np
+import pytest
+
+from repro.util.distributions import (
+    DATA_MINING_SIZE_CDF,
+    EmpiricalCDF,
+    WEB_SEARCH_SIZE_CDF,
+    bounded_pareto,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestEmpiricalCDF:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([(1.0, 0.0)])  # too few
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([(1.0, 0.1), (2.0, 1.0)])  # doesn't start at 0
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([(1.0, 0.0), (2.0, 0.9)])  # doesn't reach 1
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([(2.0, 0.0), (1.0, 1.0)])  # values decrease
+
+    def test_samples_within_support(self):
+        cdf = EmpiricalCDF([(1.0, 0.0), (5.0, 1.0)])
+        rng = np.random.default_rng(1)
+        x = cdf.sample(rng, 1000)
+        assert x.min() >= 1.0 and x.max() <= 5.0
+
+    def test_uniform_special_case(self):
+        cdf = EmpiricalCDF([(0.0, 0.0), (10.0, 1.0)])
+        rng = np.random.default_rng(2)
+        x = cdf.sample(rng, 20000)
+        assert x.mean() == pytest.approx(5.0, rel=0.05)
+        assert cdf.mean() == pytest.approx(5.0, rel=1e-3)
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF([(0.0, 0.0), (10.0, 0.5), (100.0, 1.0)])
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(0.5) == 10.0
+        assert cdf.quantile(1.0) == 100.0
+        with pytest.raises(ConfigurationError):
+            cdf.quantile(1.5)
+
+    def test_empirical_mean_matches_samples(self):
+        rng = np.random.default_rng(3)
+        x = WEB_SEARCH_SIZE_CDF.sample(rng, 100_000)
+        assert x.mean() == pytest.approx(WEB_SEARCH_SIZE_CDF.mean(), rel=0.03)
+
+    def test_published_cdfs_heavy_tailed(self):
+        """Median far below mean — the signature of the trace CDFs."""
+        for cdf in (WEB_SEARCH_SIZE_CDF, DATA_MINING_SIZE_CDF):
+            assert cdf.quantile(0.5) < cdf.mean() / 2
+
+
+class TestBoundedPareto:
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(4)
+        x = bounded_pareto(rng, 5000, alpha=1.2, lo=10.0, hi=1000.0)
+        assert x.min() >= 10.0 - 1e-9
+        assert x.max() <= 1000.0 + 1e-6
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(5)
+        x = bounded_pareto(rng, 50_000)
+        assert np.median(x) < x.mean() / 2
+
+    def test_validation(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ConfigurationError):
+            bounded_pareto(rng, 10, alpha=0)
+        with pytest.raises(ConfigurationError):
+            bounded_pareto(rng, 10, lo=5, hi=5)
+
+
+class TestGeneratorIntegration:
+    def test_size_dist_validation(self):
+        from repro.util.errors import ConfigurationError
+        from repro.workload.generator import WorkloadConfig
+
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(flow_size_dist="zipf")
+
+    @pytest.mark.parametrize("dist", ["websearch", "datamining", "pareto"])
+    def test_mean_rescaled_to_config(self, dist):
+        from repro.workload.generator import WorkloadConfig, generate_workload
+
+        hosts = [f"h{i}" for i in range(10)]
+        cfg = WorkloadConfig(num_tasks=400, mean_flows_per_task=5,
+                             mean_flow_size=200e3, flow_size_dist=dist,
+                             min_flow_size=1.0, seed=9)
+        tasks = generate_workload(cfg, hosts)
+        sizes = np.array([f.size for t in tasks for f in t.flows])
+        assert sizes.mean() == pytest.approx(200e3, rel=0.25)
+
+    def test_heavy_tail_visible_in_workload(self):
+        from repro.workload.generator import WorkloadConfig, generate_workload
+
+        hosts = [f"h{i}" for i in range(10)]
+        cfg = WorkloadConfig(num_tasks=300, mean_flows_per_task=5,
+                             mean_flow_size=200e3,
+                             flow_size_dist="datamining",
+                             min_flow_size=1.0, seed=9)
+        tasks = generate_workload(cfg, hosts)
+        sizes = np.array([f.size for t in tasks for f in t.flows])
+        assert np.median(sizes) < sizes.mean() / 2

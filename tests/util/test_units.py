@@ -1,0 +1,52 @@
+"""Unit constants and the E_ij (expected transmission time) helper."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    Gbps,
+    KB,
+    MB,
+    Mbps,
+    ms,
+    transmission_time,
+    us,
+)
+
+
+def test_size_constants_decimal():
+    assert KB == 1_000
+    assert MB == 1_000_000
+    assert GB == 1_000_000_000
+
+
+def test_time_constants():
+    assert ms == pytest.approx(1e-3)
+    assert us == pytest.approx(1e-6)
+
+
+def test_rate_constants_are_bytes_per_second():
+    assert Gbps == pytest.approx(1e9 / 8)
+    assert Mbps == pytest.approx(1e6 / 8)
+    assert Gbps == 1000 * Mbps
+
+
+def test_paper_default_flow_duration():
+    # 200 KB at 1 Gbps = 1.6 ms — the E_ij behind the paper's defaults
+    assert transmission_time(200 * KB, 1 * Gbps) == pytest.approx(1.6 * ms)
+
+
+def test_transmission_time_zero_size():
+    assert transmission_time(0, Gbps) == 0.0
+
+
+def test_transmission_time_invalid_rate():
+    with pytest.raises(ValueError):
+        transmission_time(100, 0)
+    with pytest.raises(ValueError):
+        transmission_time(100, -1)
+
+
+def test_transmission_time_negative_size():
+    with pytest.raises(ValueError):
+        transmission_time(-1, Gbps)

@@ -1,0 +1,74 @@
+"""Property-based tests of the workload generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+HOSTS = [f"h{i}" for i in range(8)]
+
+
+@st.composite
+def configs(draw):
+    return WorkloadConfig(
+        num_tasks=draw(st.integers(1, 40)),
+        arrival_rate=draw(st.floats(1.0, 1000.0)),
+        mean_deadline=draw(st.floats(1e-3, 1.0)),
+        mean_flow_size=draw(st.floats(2e3, 1e6)),
+        flow_size_sigma_frac=draw(st.floats(0.0, 1.5)),
+        mean_flows_per_task=draw(st.floats(1.0, 20.0)),
+        flows_per_task_dist=draw(st.sampled_from(["poisson", "constant"])),
+        seed=draw(st.integers(0, 2**31)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs())
+def test_structural_invariants(cfg):
+    tasks = generate_workload(cfg, HOSTS)
+    assert len(tasks) == cfg.num_tasks
+    # dense, arrival-ordered task ids
+    assert [t.task_id for t in tasks] == list(range(cfg.num_tasks))
+    arrivals = [t.arrival for t in tasks]
+    assert arrivals == sorted(arrivals)
+    # dense flow ids across the workload
+    fids = [f.flow_id for t in tasks for f in t.flows]
+    assert fids == list(range(len(fids)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs())
+def test_value_invariants(cfg):
+    tasks = generate_workload(cfg, HOSTS)
+    for t in tasks:
+        assert t.deadline > t.arrival
+        assert t.deadline - t.arrival >= cfg.min_deadline - 1e-12
+        assert t.num_flows >= 1
+        for f in t.flows:
+            assert f.size >= cfg.min_flow_size - 1e-9
+            assert f.src in HOSTS and f.dst in HOSTS
+            assert f.src != f.dst
+            assert f.release == t.arrival
+            assert f.deadline == t.deadline
+
+
+@settings(max_examples=30, deadline=None)
+@given(configs())
+def test_determinism(cfg):
+    a = generate_workload(cfg, HOSTS)
+    b = generate_workload(cfg, HOSTS)
+    assert [(t.arrival, t.deadline, t.num_flows) for t in a] == \
+        [(t.arrival, t.deadline, t.num_flows) for t in b]
+    assert [(f.src, f.dst, f.size) for t in a for f in t.flows] == \
+        [(f.src, f.dst, f.size) for t in b for f in t.flows]
+
+
+@settings(max_examples=30, deadline=None)
+@given(configs(), st.integers(0, 2**31))
+def test_seed_sensitivity(cfg, other_seed):
+    if other_seed == cfg.seed:
+        return
+    a = generate_workload(cfg, HOSTS)
+    b = generate_workload(cfg.with_(seed=other_seed), HOSTS)
+    # arrival sequences should differ for non-trivial workloads
+    if cfg.num_tasks >= 5:
+        assert [t.arrival for t in a] != [t.arrival for t in b]

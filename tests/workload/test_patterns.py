@@ -1,0 +1,125 @@
+"""Structured application workloads (§II patterns)."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workload.patterns import (
+    cosmos_workload,
+    mapreduce_workload,
+    partition_aggregate_task,
+    shuffle_task,
+    websearch_workload,
+)
+
+HOSTS = [f"h{i}" for i in range(30)]
+
+
+class TestPartitionAggregate:
+    def test_all_flows_converge_on_aggregator(self):
+        t = partition_aggregate_task(
+            0, aggregator="h0", workers=["h1", "h2", "h3"],
+            flow_size=1000.0, arrival=0.0, deadline=1.0, first_flow_id=0,
+        )
+        assert t.num_flows == 3
+        assert {f.dst for f in t.flows} == {"h0"}
+        assert {f.src for f in t.flows} == {"h1", "h2", "h3"}
+
+    def test_aggregator_not_worker(self):
+        with pytest.raises(ConfigurationError):
+            partition_aggregate_task(0, "h0", ["h0", "h1"], 1.0, 0.0, 1.0, 0)
+
+    def test_needs_workers(self):
+        with pytest.raises(ConfigurationError):
+            partition_aggregate_task(0, "h0", [], 1.0, 0.0, 1.0, 0)
+
+    def test_size_jitter(self):
+        import numpy as np
+
+        t = partition_aggregate_task(
+            0, "h0", [f"h{i}" for i in range(1, 20)], 1000.0, 0.0, 1.0, 0,
+            size_jitter=np.random.default_rng(1),
+        )
+        sizes = {f.size for f in t.flows}
+        assert len(sizes) > 1  # jittered
+        assert all(s > 0 for s in sizes)
+
+
+class TestShuffle:
+    def test_pairwise_flows(self):
+        t = shuffle_task(0, ["m0", "m1"], ["r0", "r1", "r2"],
+                         bytes_per_pair=500.0, arrival=0.0, deadline=1.0,
+                         first_flow_id=10)
+        assert t.num_flows == 2 * 3
+        assert [f.flow_id for f in t.flows] == list(range(10, 16))
+        pairs = {(f.src, f.dst) for f in t.flows}
+        assert len(pairs) == 6
+
+    def test_disjoint_sets_required(self):
+        with pytest.raises(ConfigurationError):
+            shuffle_task(0, ["a"], ["a", "b"], 1.0, 0.0, 1.0, 0)
+
+    def test_nonempty_required(self):
+        with pytest.raises(ConfigurationError):
+            shuffle_task(0, [], ["r"], 1.0, 0.0, 1.0, 0)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("builder", [
+        websearch_workload, mapreduce_workload, cosmos_workload,
+    ])
+    def test_structural_validity(self, builder):
+        tasks = builder(HOSTS, num_tasks=6, fanout_scale=0.1, seed=3)
+        assert len(tasks) == 6
+        fids = [f.flow_id for t in tasks for f in t.flows]
+        assert fids == list(range(len(fids)))
+        for t in tasks:
+            assert t.deadline > t.arrival
+            for f in t.flows:
+                assert f.src in HOSTS and f.dst in HOSTS and f.src != f.dst
+
+    def test_websearch_fanout_band(self):
+        many_hosts = [f"g{i}" for i in range(150)]
+        tasks = websearch_workload(many_hosts, num_tasks=10,
+                                   fanout_scale=0.2, seed=1)
+        for t in tasks:
+            assert 0.2 * 88 - 1 <= t.num_flows <= 0.2 * 120 + 1
+
+    def test_websearch_is_incast(self):
+        tasks = websearch_workload(HOSTS, num_tasks=5, fanout_scale=0.1, seed=2)
+        for t in tasks:
+            assert len({f.dst for f in t.flows}) == 1
+
+    def test_mapreduce_is_allpairs(self):
+        tasks = mapreduce_workload(HOSTS, num_tasks=4, fanout_scale=0.5, seed=2)
+        for t in tasks:
+            srcs = {f.src for f in t.flows}
+            dsts = {f.dst for f in t.flows}
+            assert t.num_flows == len(srcs) * len(dsts)
+
+    def test_needs_enough_hosts(self):
+        with pytest.raises(ConfigurationError):
+            websearch_workload(["a", "b"], fanout_scale=1.0)
+
+    def test_deterministic(self):
+        a = cosmos_workload(HOSTS, num_tasks=5, fanout_scale=0.1, seed=7)
+        b = cosmos_workload(HOSTS, num_tasks=5, fanout_scale=0.1, seed=7)
+        assert [(f.src, f.dst, f.size) for t in a for f in t.flows] == \
+            [(f.src, f.dst, f.size) for t in b for f in t.flows]
+
+
+class TestEndToEnd:
+    def test_incast_contends_at_aggregator(self):
+        """The pattern's point: fair sharing chokes on the shared access
+        link while TAPS serializes into it — run both and compare."""
+        from repro.core.controller import TapsScheduler
+        from repro.metrics.summary import summarize
+        from repro.net.trees import SingleRootedTree
+        from repro.sched.fair import FairSharing
+        from repro.sim.engine import Engine
+
+        topo = SingleRootedTree(4, 3, 3)
+        tasks = websearch_workload(list(topo.hosts), num_tasks=12,
+                                   fanout_scale=0.08, seed=5)
+        taps = summarize(Engine(topo, tasks, TapsScheduler()).run())
+        fair = summarize(Engine(topo, tasks, FairSharing()).run())
+        assert taps.task_completion_ratio >= fair.task_completion_ratio
