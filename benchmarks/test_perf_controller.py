@@ -1,0 +1,174 @@
+"""Controller fast-path benchmark: speedup AND bit-identical decisions.
+
+Runs one frozen arrival-heavy workload (64 hosts of a k=8 fat-tree, Poisson
+arrivals, ~3.6k flows) through the TAPS controller twice — ``fast_path=True``
+(union caching + fused pair-scan candidate evaluation + trial journal) and
+``fast_path=False`` (the pre-fast-path reference: per-candidate union fold +
+complement + fit, deep-copied trial ledgers) — and asserts:
+
+1. **Equivalence**: the two runs make the *same decisions* — identical
+   accept/reject/preempt sequence, identical victims, and float-identical
+   flow plans (path + slice boundaries + completion) at every commit.
+2. **Speedup**: at full scale, controller time (admission + reallocation,
+   measured around the scheduler callbacks) improves by >= 2x.
+
+The measured record is written to ``benchmarks/results/perf_controller*.json``
+(workload, timings, profile counters, speedups) for EXPERIMENTS.md and the
+CI artifact.
+
+``REPRO_PERF_SCALE=smoke`` (CI) shrinks the workload to seconds and skips
+the speedup floor — shared runners are too noisy to gate on a timing ratio —
+while still asserting decision equivalence and emitting the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.controller import TapsScheduler
+from repro.net.fattree import FatTree
+from repro.net.paths import PathService
+from repro.sim.engine import Engine
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+SCALES = {
+    # ~2.5 min total (reference run dominates); the scale where the fast
+    # path's asymptotic advantages are fully visible (several hundred
+    # in-flight flows per arrival)
+    "full": dict(num_tasks=180, arrival_rate=2200.0, mean_deadline=0.38,
+                 mean_flow_size=300_000.0, mean_flows_per_task=25.0),
+    # ~2 s total; same shape, CI-friendly
+    "smoke": dict(num_tasks=40, arrival_rate=700.0, mean_deadline=0.15,
+                  mean_flow_size=400_000.0, mean_flows_per_task=10.0),
+}
+SEED = 7
+HOSTS_USED = 64
+MAX_PATHS = 8
+
+
+class _RecordingScheduler(TapsScheduler):
+    """TAPS with a decision trace and a controller-time stopwatch.
+
+    ``trace`` captures every commit (task, victims, full plan snapshot
+    with float-exact slice boundaries) and every rejection — enough to
+    prove two runs scheduled identically.  ``controller_seconds`` sums
+    wall time spent inside admission, the honest "controller cost"
+    (path calculation + trial ledger management + reject rule).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace: list[tuple] = []
+        self.controller_seconds = 0.0
+
+    def on_task_arrival(self, task_state, now):
+        t0 = time.perf_counter()
+        try:
+            super().on_task_arrival(task_state, now)
+        finally:
+            self.controller_seconds += time.perf_counter() - t0
+
+    def _commit(self, task_state, trial_plans, trial_ledger, victims):
+        self.trace.append((
+            "accept",
+            task_state.task.task_id,
+            tuple(sorted(victims)),
+            tuple(sorted(
+                (fid, p.path, tuple(p.slices._b), p.completion)
+                for fid, p in trial_plans.items()
+            )),
+        ))
+        super()._commit(task_state, trial_plans, trial_ledger, victims)
+
+    def _reject(self, task_state, reason="would-miss", lateness=(), now=0.0):
+        self.trace.append(("reject", task_state.task.task_id, reason))
+        super()._reject(task_state, reason=reason, lateness=lateness, now=now)
+
+
+def _workload(scale: dict):
+    topo = FatTree(k=8)
+    hosts = list(topo.hosts)[:HOSTS_USED]
+    cfg = WorkloadConfig(seed=SEED, **scale)
+    return topo, generate_workload(cfg, hosts)
+
+
+def _run(topo, tasks, fast: bool):
+    sched = _RecordingScheduler(fast_path=fast)
+    paths = PathService(topo, max_paths=MAX_PATHS)
+    t0 = time.perf_counter()
+    result = Engine(topo, tasks, sched, path_service=paths).run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "controller_seconds": sched.controller_seconds,
+        "stats": {
+            "tasks_accepted": sched.stats.tasks_accepted,
+            "tasks_rejected": sched.stats.tasks_rejected,
+            "tasks_preempted": sched.stats.tasks_preempted,
+            "reallocations": sched.stats.reallocations,
+            "flows_planned": sched.stats.flows_planned,
+        },
+        "profile": sched.stats.profile.as_dict(),
+        "trace": sched.trace,
+        "flows": [
+            (fs.flow.flow_id, fs.remaining, fs.met_deadline)
+            for fs in result.flow_states
+        ],
+        "tasks": [
+            (ts.task.task_id, str(ts.outcome)) for ts in result.task_states
+        ],
+    }
+
+
+def test_perf_controller(results_dir):
+    scale_name = os.environ.get("REPRO_PERF_SCALE", "full")
+    scale = SCALES[scale_name]
+    topo, tasks = _workload(scale)
+
+    fast = _run(topo, tasks, fast=True)
+    slow = _run(topo, tasks, fast=False)
+
+    # 1. bit-identical scheduling: same decision sequence, same victims,
+    # float-identical plans, same end-of-run flow/task outcomes
+    assert fast["trace"] == slow["trace"]
+    assert fast["flows"] == slow["flows"]
+    assert fast["tasks"] == slow["tasks"]
+    assert fast["stats"] == slow["stats"]
+
+    speedup_controller = slow["controller_seconds"] / fast["controller_seconds"]
+    speedup_wall = slow["wall_seconds"] / fast["wall_seconds"]
+    speedup_pc = (
+        slow["profile"]["path_calculation_seconds"]
+        / fast["profile"]["path_calculation_seconds"]
+    )
+
+    record = {
+        "scale": scale_name,
+        "workload": {**scale, "seed": SEED, "hosts_used": HOSTS_USED,
+                     "topology": "fattree-k8", "max_paths": MAX_PATHS,
+                     "num_flows": sum(len(t.flows) for t in tasks)},
+        "decisions_identical": True,
+        "fast": {k: fast[k] for k in
+                 ("wall_seconds", "controller_seconds", "stats", "profile")},
+        "slow": {k: slow[k] for k in
+                 ("wall_seconds", "controller_seconds", "stats", "profile")},
+        "speedup": {
+            "controller": round(speedup_controller, 3),
+            "wall": round(speedup_wall, 3),
+            "path_calculation": round(speedup_pc, 3),
+        },
+    }
+    suffix = "" if scale_name == "full" else f"_{scale_name}"
+    out = results_dir / f"perf_controller{suffix}.json"
+    out.write_text(json.dumps(record, indent=1))
+    print(f"\nperf record -> {out}\n"
+          f"controller {speedup_controller:.2f}x  wall {speedup_wall:.2f}x  "
+          f"path_calculation {speedup_pc:.2f}x")
+
+    if scale_name == "full":
+        # the acceptance floor: >= 2x on controller time at the frozen
+        # arrival-heavy workload (smoke scale skips it: CI runners are
+        # too noisy to gate on a wall-clock ratio)
+        assert speedup_controller >= 2.0, record["speedup"]

@@ -11,13 +11,19 @@ reject rule's job (:mod:`repro.core.reject`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.occupancy import OccupancyLedger
 from repro.net.paths import PathService
 from repro.net.topology import Path
 from repro.sim.state import FlowState
 from repro.util.errors import AllocationError
-from repro.util.intervals import EPS, IntervalSet
+from repro.util.intervals import (
+    EPS,
+    IntervalSet,
+    merge_boundaries,
+    occupied_fit_end_pair,
+)
 
 
 @dataclass(slots=True, eq=False)
@@ -54,17 +60,21 @@ def time_allocation(
     duration: float,
     release: float,
     horizon: float,
+    occupied: IntervalSet | None = None,
 ) -> tuple[IntervalSet, float]:
     """Alg. 3: allocate ``duration`` of idle time on ``path`` after ``release``.
 
     Returns ``(slices, completion_time)``.  ``horizon`` must be generous
     enough that the fit always succeeds (callers size it as
     max-deadline + total backlog); running out is a programming error.
+    ``occupied`` lets a caller that already holds the path's occupancy
+    union (Alg. 2 just computed it for the winning candidate) skip the
+    ledger re-query; it must match ``ledger.union_for(path)``.
     """
-    occupied = ledger.union_for(path)
-    idle = occupied.complement(release, horizon)
+    if occupied is None:
+        occupied = ledger.union_for(path)
     try:
-        slices = idle.first_fit(duration, release)
+        slices = occupied.occupied_first_fit(duration, release, horizon)
     except ValueError as exc:
         raise AllocationError(
             f"horizon {horizon:g} too small for duration {duration:g} "
@@ -101,6 +111,8 @@ def path_calculation(
     now: float,
     horizon: float,
     on_unplannable: str = "raise",
+    profile=None,
+    prune: bool = True,
 ) -> dict[int, FlowPlan]:
     """Alg. 2: allocate every flow, in the order given, onto its best path.
 
@@ -114,10 +126,51 @@ def path_calculation(
     :class:`~repro.util.errors.AllocationError`; ``"skip"`` omits the flow
     from the returned plans (it simply does not transmit for now).
 
+    ``profile`` (optional :class:`~repro.metrics.profiling.ProfileCounters`)
+    counts work done and wall time.  ``prune`` enables the fast candidate
+    evaluation: candidates whose contention-free completion (``release +
+    duration``, a hard lower bound on any path) cannot beat the current
+    best are skipped outright, and the survivors are scored with a fused
+    pair scan over the path's partial union folds that aborts the moment
+    it is provably beaten — instead of materialising each candidate's
+    union and idle complement.  Both cut-offs are exact (they only ever
+    drop candidates that compare as losers), and the fused scan computes
+    the identical completion, so pruning never changes the chosen path.
+    ``prune=False`` reproduces the pre-fast-path evaluation (full union +
+    complement + fit per candidate) for the reference mode of the
+    equivalence tests and benchmarks.
+
     Returns plans keyed by flow id.
     """
     if on_unplannable not in ("raise", "skip"):
         raise ValueError(f"bad on_unplannable {on_unplannable!r}")
+    if profile is None:
+        return _path_calculation(
+            flows, ledger, paths, capacity, now, horizon, on_unplannable,
+            profile, prune,
+        )
+    profile.path_calculation_calls += 1
+    t0 = perf_counter()
+    try:
+        return _path_calculation(
+            flows, ledger, paths, capacity, now, horizon, on_unplannable,
+            profile, prune,
+        )
+    finally:
+        profile.path_calculation_seconds += perf_counter() - t0
+
+
+def _path_calculation(
+    flows: list[FlowState],
+    ledger: OccupancyLedger,
+    paths: PathService,
+    capacity: float,
+    now: float,
+    horizon: float,
+    on_unplannable: str,
+    profile,
+    prune: bool,
+) -> dict[int, FlowPlan]:
     plans: dict[int, FlowPlan] = {}
     for fs in flows:
         f = fs.flow
@@ -127,18 +180,60 @@ def path_calculation(
         if not candidates:
             raise AllocationError(f"no path for flow {f.flow_id}: {f.src}->{f.dst}")
 
+        best_occ: IntervalSet | None = None
         if len(candidates) == 1:
             best_path = candidates[0]
         else:
-            # line 7–14: keep the path with the earliest completion
+            # line 7–14: keep the path with the earliest completion.
+            # Fast path: each candidate's union is available as two
+            # partial folds (shared endpoint fold + cached interior
+            # segment), and its completion is scored straight off the
+            # pair with one fused scan — no union is materialised for
+            # losing candidates.  Two exact cut-offs skip work:
+            #   1. release + duration >= best_end: free; kills every
+            #      later candidate once one found a contention-free fit;
+            #   2. the scan aborts the moment its earliest possible
+            #      completion reaches best_end (stop_at).
+            # Only the winner's union is merged, for slice building.
             best_path, best_end = None, float("inf")
+            best_parts: tuple[list[float], list[float]] | None = None
+            union_memo: dict[Path, list[float]] | None = {} if prune else None
             for p in candidates:
-                try:
-                    end = completion_on_path(ledger, p, duration, release, horizon)
-                except AllocationError:
-                    continue  # this candidate cannot fit (blocked link)
-                if end < best_end - EPS:
-                    best_end, best_path = end, p
+                if profile is not None:
+                    profile.candidates_evaluated += 1
+                if prune:
+                    if (
+                        best_path is not None
+                        and release + duration >= best_end - EPS
+                    ):
+                        if profile is not None:
+                            profile.candidates_pruned += 1
+                        continue
+                    shared, inter = ledger.union_parts(p, union_memo)
+                    try:
+                        end = occupied_fit_end_pair(
+                            shared, inter, duration, release, horizon,
+                            stop_at=best_end - EPS,
+                        )
+                    except ValueError:
+                        continue  # this candidate cannot fit (blocked link)
+                    if end < best_end - EPS:
+                        best_end, best_path = end, p
+                        best_parts = (shared, inter)
+                else:
+                    # reference mode: the pre-fast-path evaluation
+                    occupied = ledger.union_for(p)
+                    idle = occupied.complement(release, horizon)
+                    try:
+                        end = idle.idle_fit_end(duration, release)
+                    except ValueError:
+                        continue  # this candidate cannot fit (blocked link)
+                    if end < best_end - EPS:
+                        best_end, best_path = end, p
+            if best_parts is not None:
+                best_occ = IntervalSet._from_boundaries(
+                    merge_boundaries(best_parts[0], best_parts[1])
+                )
         if best_path is None:
             if on_unplannable == "skip":
                 continue
@@ -149,7 +244,8 @@ def path_calculation(
 
         try:
             slices, completion = time_allocation(
-                ledger, best_path, duration, release, horizon
+                ledger, best_path, duration, release, horizon,
+                occupied=best_occ,
             )
         except AllocationError:
             if on_unplannable == "skip":

@@ -20,7 +20,7 @@ so the only wasted bytes TAPS can produce come from preempted victims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.allocation import (
     FlowPlan,
@@ -29,6 +29,7 @@ from repro.core.allocation import (
 )
 from repro.core.reject import Decision, PreemptionPolicy, RejectRule
 from repro.core.occupancy import OccupancyLedger
+from repro.metrics.profiling import ProfileCounters
 from repro.sched.base import PRIORITY_KEYS, Scheduler
 from repro.sim.state import FlowState, FlowStatus, TaskState
 from repro.util.intervals import EPS, IntervalSet
@@ -65,7 +66,12 @@ class RejectionDiagnostics:
 
 @dataclass(slots=True)
 class TapsStats:
-    """Controller decision counters (reported by experiments)."""
+    """Controller decision counters (reported by experiments).
+
+    ``profile`` holds the hot-path work counters (union-cache hit rate,
+    intervals scanned, candidates pruned, time in path calculation) — see
+    :class:`~repro.metrics.profiling.ProfileCounters`.
+    """
 
     tasks_accepted: int = 0
     tasks_rejected: int = 0
@@ -75,6 +81,7 @@ class TapsStats:
     flows_planned: int = 0
     fault_reroutes: int = 0
     tasks_dropped_on_fault: int = 0
+    profile: ProfileCounters = field(default_factory=ProfileCounters)
 
 
 class TapsScheduler(Scheduler):
@@ -119,6 +126,14 @@ class TapsScheduler(Scheduler):
         Record a :class:`RejectionDiagnostics` (reason + per-flow
         lateness) for every rejected task in ``self.diagnostics`` —
         the operator's "why was my task refused?" trail.
+    fast_path:
+        Enable the allocation fast path (default): per-path union caching
+        with link-level dirty tracking in the occupancy ledger, candidate
+        pruning in Alg. 2, and journal-based trial rollback instead of
+        ledger deep copies.  All three are exact — scheduling decisions
+        and flow plans are identical either way (asserted by
+        ``benchmarks/test_perf_controller.py``); ``False`` is the
+        pre-fast-path reference mode those comparisons run against.
     """
 
     name = "TAPS"
@@ -132,6 +147,7 @@ class TapsScheduler(Scheduler):
         reallocate_inflight: bool = True,
         priority: str = "edf_sjf",
         explain: bool = False,
+        fast_path: bool = True,
     ) -> None:
         super().__init__()
         if batch_window < 0 or control_latency < 0:
@@ -150,11 +166,12 @@ class TapsScheduler(Scheduler):
         self.priority = priority
         self._priority_key = PRIORITY_KEYS[priority]
         self.explain = explain
+        self.fast_path = fast_path
         self.diagnostics: list[RejectionDiagnostics] = []
         self._switch_of_link: dict[int, str] = {}
-        self.ledger = OccupancyLedger()
-        self.plans: dict[int, FlowPlan] = {}
         self.stats = TapsStats()
+        self.ledger = self._new_ledger()
+        self.plans: dict[int, FlowPlan] = {}
         self._capacity: float = 0.0
         self._task_states: dict[int, TaskState] = {}
         self._pending: list[TaskState] = []
@@ -162,11 +179,15 @@ class TapsScheduler(Scheduler):
         self._down_links: frozenset[int] = frozenset()
         self._accepted_flows: dict[int, FlowState] = {}
 
+    def _new_ledger(self) -> OccupancyLedger:
+        """A fresh ledger in this controller's mode, wired to the profile."""
+        return OccupancyLedger(profile=self.stats.profile, cache=self.fast_path)
+
     def attach(self, topology, paths) -> None:
         super().attach(topology, paths)
-        self.ledger = OccupancyLedger()
-        self.plans = {}
         self.stats = TapsStats()
+        self.ledger = self._new_ledger()
+        self.plans = {}
         self._task_states = {}
         self._pending = []
         self._flush_at = None
@@ -216,13 +237,21 @@ class TapsScheduler(Scheduler):
             self._admit_incremental(task_state, new_flows, now)
             return
 
+        # fast path: one outage-only base ledger, reset between retries by
+        # the rollback journal instead of being rebuilt from scratch
+        trial_base = self._outage_ledger() if self.fast_path else None
         while True:
             ftmp = sorted(old_flows + new_flows, key=self._priority_key)
-            trial_ledger = self._outage_ledger()
+            if trial_base is not None:
+                trial_ledger = trial_base
+                trial_ledger.begin_trial()
+            else:
+                trial_ledger = self._outage_ledger()
             horizon = allocation_horizon(ftmp, self._capacity, now)
             trial_plans = path_calculation(
                 ftmp, trial_ledger, self.paths, self._capacity, now, horizon,
                 on_unplannable="skip",
+                profile=self.stats.profile, prune=self.fast_path,
             )
             self.stats.reallocations += 1
             self.stats.flows_planned += len(trial_plans)
@@ -239,16 +268,22 @@ class TapsScheduler(Scheduler):
                     # §IV-C: some switch would exceed its install budget
                     self._reject(task_state, reason="table-limit", now=now)
                     return
+                if trial_base is not None:
+                    trial_ledger.commit_trial()
                 self._commit(task_state, trial_plans, trial_ledger, victims)
                 return
 
             if decision.decision is Decision.REJECT_NEW:
-                # drop the trial; previous plans (untouched) stay in force
+                # drop the trial; previous plans (untouched) stay in force.
+                # A missing flow that got no plan at all (skipped as
+                # unplannable) is reported with infinite lateness rather
+                # than silently omitted.
                 lateness = tuple(
                     (fid, trial_plans[fid].completion
                      - trial_plans[fid].flow_state.flow.deadline)
-                    for fid in decision.missing_flow_ids
                     if fid in trial_plans
+                    else (fid, float("inf"))
+                    for fid in decision.missing_flow_ids
                 )
                 self._reject(task_state, reason="would-miss",
                              lateness=lateness, now=now)
@@ -263,6 +298,8 @@ class TapsScheduler(Scheduler):
             old_flows = [
                 fs for fs in old_flows if fs.flow.task_id != decision.victim_task_id
             ]
+            if trial_base is not None:
+                trial_base.rollback_trial()
 
     def _commit(
         self,
@@ -293,6 +330,9 @@ class TapsScheduler(Scheduler):
                 self._accepted_flows[fs.flow.flow_id] = fs
         self.stats.tasks_accepted += 1
         self.stats.tasks_preempted += len(victims)
+        profile = self.stats.profile
+        if len(victims) > profile.max_reallocation_depth:
+            profile.max_reallocation_depth = len(victims)
         self.active_flows = [
             fs for fs in self._accepted_flows.values() if fs.active
         ]
@@ -308,7 +348,13 @@ class TapsScheduler(Scheduler):
         """
         assert self.paths is not None
         ftmp = sorted(new_flows, key=self._priority_key)
-        trial_ledger = self.ledger.copy()
+        if self.fast_path:
+            # trial directly on the live ledger; the journal undoes a
+            # rejected trial instead of deep-copying every link upfront
+            trial_ledger = self.ledger
+            trial_ledger.begin_trial()
+        else:
+            trial_ledger = self.ledger.copy()
         if self._down_links:
             block = IntervalSet.single(0.0, _BLOCK_HORIZON)
             for l in self._down_links:
@@ -321,26 +367,36 @@ class TapsScheduler(Scheduler):
         trial_plans = path_calculation(
             ftmp, trial_ledger, self.paths, self._capacity, now, horizon,
             on_unplannable="skip",
+            profile=self.stats.profile, prune=self.fast_path,
         )
         self.stats.reallocations += 1
         self.stats.flows_planned += len(trial_plans)
+
+        reject_reason: str | None = None
+        lateness: tuple = ()
         if len(trial_plans) < len(new_flows):
-            self._reject(task_state, reason="unreachable", now=now)
-            return
-        if any(not p.meets_deadline for p in trial_plans.values()):
+            reject_reason = "unreachable"
+        elif any(not p.meets_deadline for p in trial_plans.values()):
+            reject_reason = "would-miss"
             lateness = tuple(
                 (fid, p.completion - p.flow_state.flow.deadline)
                 for fid, p in trial_plans.items()
                 if not p.meets_deadline
             )
-            self._reject(task_state, reason="would-miss",
+        elif not self._tables_fit({**self.plans, **trial_plans}):
+            reject_reason = "table-limit"
+        if reject_reason is not None:
+            if self.fast_path:
+                trial_ledger.rollback_trial()
+            self._reject(task_state, reason=reject_reason,
                          lateness=lateness, now=now)
             return
-        if not self._tables_fit({**self.plans, **trial_plans}):
-            self._reject(task_state, reason="table-limit", now=now)
-            return
+
+        if self.fast_path:
+            trial_ledger.commit_trial()
+        else:
+            self.ledger = trial_ledger
         self.plans.update(trial_plans)
-        self.ledger = trial_ledger
         for plan in trial_plans.values():
             plan.flow_state.path = plan.path
         task_state.accepted = True
@@ -393,11 +449,12 @@ class TapsScheduler(Scheduler):
         # probe just inside 'now' so a boundary landing within float dust
         # of a slice edge resolves to the correct side
         probe = now + 2 * EPS
+        capacity = self._capacity
         for plan in self.plans.values():
             fs = plan.flow_state
-            if not fs.active:
+            if fs.status is not FlowStatus.PENDING:
                 continue
-            fs.rate = self._capacity if plan.slices.contains(probe) else 0.0
+            fs.rate = capacity if plan.slices.contains(probe) else 0.0
 
     def next_change(self, now: float) -> float | None:
         """Earliest upcoming slice boundary or batch-flush time."""
@@ -405,7 +462,7 @@ class TapsScheduler(Scheduler):
         if self._flush_at is not None and self._flush_at > now + EPS:
             best = self._flush_at
         for plan in self.plans.values():
-            if not plan.flow_state.active:
+            if plan.flow_state.status is not FlowStatus.PENDING:
                 continue
             b = plan.slices.next_boundary(now)
             if b is not None and (best is None or b < best):
@@ -416,7 +473,7 @@ class TapsScheduler(Scheduler):
 
     def _outage_ledger(self) -> OccupancyLedger:
         """A fresh ledger with every down link blocked "forever"."""
-        ledger = OccupancyLedger()
+        ledger = self._new_ledger()
         if self._down_links:
             block = IntervalSet.single(0.0, _BLOCK_HORIZON)
             for l in self._down_links:
@@ -431,13 +488,19 @@ class TapsScheduler(Scheduler):
 
     def _reallocate_inflight(self, now: float) -> None:
         flows = [fs for fs in self._accepted_flows.values() if fs.active]
+        trial_base = self._outage_ledger() if self.fast_path else None
         while True:
             ftmp = sorted(flows, key=self._priority_key)
-            ledger = self._outage_ledger()
+            if trial_base is not None:
+                ledger = trial_base
+                ledger.begin_trial()
+            else:
+                ledger = self._outage_ledger()
             horizon = allocation_horizon(ftmp, self._capacity, now)
             plans = path_calculation(
                 ftmp, ledger, self.paths, self._capacity, now, horizon,
                 on_unplannable="skip",
+                profile=self.stats.profile, prune=self.fast_path,
             )
             self.stats.reallocations += 1
             missing_tasks = {
@@ -446,6 +509,8 @@ class TapsScheduler(Scheduler):
                 if not p.meets_deadline
             }
             if not missing_tasks:
+                if trial_base is not None:
+                    ledger.commit_trial()
                 self.plans = plans
                 self.ledger = ledger
                 for p in plans.values():
@@ -457,17 +522,27 @@ class TapsScheduler(Scheduler):
             for tid in missing_tasks:
                 self._drop_task_on_fault(tid)
             flows = [fs for fs in flows if fs.flow.task_id not in missing_tasks]
+            if trial_base is not None:
+                trial_base.rollback_trial()
 
-    def _drop_task_on_fault(self, task_id: int) -> None:
+    def _drop_task_on_fault(self, task_id: int) -> bool:
+        """Kill the task's flows and count the drop.
+
+        Returns whether anything was dropped — ``False`` when the task was
+        never registered (e.g. still pending in a batch window), in which
+        case the counter is *not* incremented and callers must not adjust
+        it either.
+        """
         ts = self._task_states.get(task_id)
         if ts is None:  # still pending in a batch window
-            return
+            return False
         for fs in ts.flow_states:
             if fs.active:
                 fs.kill(FlowStatus.TERMINATED)
             self.plans.pop(fs.flow.flow_id, None)
             self._accepted_flows.pop(fs.flow.flow_id, None)
         self.stats.tasks_dropped_on_fault += 1
+        return True
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -482,8 +557,12 @@ class TapsScheduler(Scheduler):
         # numerical corner case).  Task-level no-waste: stop the whole
         # task, not just this flow.
         self.stats.backstop_kills += 1
-        self._drop_task_on_fault(fs.flow.task_id)
-        self.stats.tasks_dropped_on_fault -= 1  # counted as backstop instead
+        if self._drop_task_on_fault(fs.flow.task_id):
+            # reclassify: this drop is a backstop kill, not a fault drop.
+            # When the task was never registered (still pending in a batch
+            # window) nothing was counted, so nothing may be decremented —
+            # the unconditional decrement used to drive the counter negative.
+            self.stats.tasks_dropped_on_fault -= 1
         if fs.active:
             fs.kill(FlowStatus.TERMINATED)
         self._drop(fs)

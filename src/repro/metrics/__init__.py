@@ -8,9 +8,14 @@
 * **wasted bandwidth ratio** — bytes transmitted by flows that ultimately
   missed / total task size (Fig. 8's definition);
 * **effective application throughput over time** — the Fig. 14 trace.
+
+Plus controller-internal instrumentation: :mod:`repro.metrics.profiling`
+counts the allocation hot path's work (union-cache hits, intervals
+scanned, candidates pruned, time in path calculation).
 """
 
+from repro.metrics.profiling import ProfileCounters
 from repro.metrics.summary import RunMetrics, summarize
 from repro.metrics.timeseries import ThroughputTimeSeries
 
-__all__ = ["RunMetrics", "summarize", "ThroughputTimeSeries"]
+__all__ = ["ProfileCounters", "RunMetrics", "summarize", "ThroughputTimeSeries"]

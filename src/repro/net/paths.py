@@ -51,14 +51,22 @@ class PathService:
     def __init__(self, topology: Topology, max_paths: int | None = None) -> None:
         self.topology = topology
         self.max_paths = max_paths
-        self._cache: dict[tuple[str, str], list[Path]] = {}
+        self._cache: dict[tuple[str, str], tuple[Path, ...]] = {}
 
-    def candidates(self, src: str, dst: str) -> list[Path]:
-        """Candidate path set for ``src -> dst`` (cached)."""
+    def candidates(self, src: str, dst: str) -> tuple[Path, ...]:
+        """Candidate path set for ``src -> dst`` (cached).
+
+        Returned as an immutable tuple: the same object is shared across
+        every admission trial and the occupancy ledger's per-path union
+        cache keys off the contained :data:`~repro.net.topology.Path`
+        tuples, so callers must never see a mutated candidate list.
+        """
         key = (src, dst)
         paths = self._cache.get(key)
         if paths is None:
-            paths = self.topology.candidate_paths(src, dst, max_paths=self.max_paths)
+            paths = tuple(
+                self.topology.candidate_paths(src, dst, max_paths=self.max_paths)
+            )
             self._cache[key] = paths
         return paths
 

@@ -198,9 +198,11 @@ class Engine:
                 dirty = True
 
             # 2. deadline expiries due now (notify each flow once)
+            # (hot loops test FlowStatus directly — `fs.active` is a
+            # property call, measurable at millions of events × flows)
             for fs in active:
                 if (
-                    fs.active
+                    fs.status is FlowStatus.PENDING
                     and not fs.deadline_notified
                     and fs.flow.deadline <= now + EPS
                     and not _done(fs.remaining, fs.flow.size)
@@ -208,10 +210,10 @@ class Engine:
                     fs.deadline_notified = True
                     self.counters.deadline_events += 1
                     sched.on_deadline_expired(fs, now)
-                    if not fs.active:
+                    if fs.status is not FlowStatus.PENDING:
                         dirty = True
 
-            active = [fs for fs in active if fs.active]
+            active = [fs for fs in active if fs.status is FlowStatus.PENDING]
 
             # 2b. fault transitions: notify the scheduler, then physically
             # stop transmission across down links below
@@ -288,7 +290,9 @@ class Engine:
             # 6. settle completions
             still_active: list[FlowState] = []
             for fs in active:
-                if fs.active and _done(fs.remaining, fs.flow.size):
+                if fs.status is not FlowStatus.PENDING:
+                    dirty = True  # killed by a callback during this step
+                elif _done(fs.remaining, fs.flow.size):
                     fs.finish(now)
                     self.counters.completions += 1
                     sched.on_flow_completed(fs, now)
@@ -297,10 +301,8 @@ class Engine:
                         if cb is not None:
                             cb(fs, now)
                     dirty = True
-                elif fs.active:
-                    still_active.append(fs)
                 else:
-                    dirty = True  # killed by a callback during this step
+                    still_active.append(fs)
             active = still_active
 
             # mark a scheduler change point as needing a rate refresh

@@ -92,7 +92,7 @@ class FlowState:
         """Integrate ``rate`` over ``dt`` seconds."""
         if dt < 0:
             raise ValueError(f"negative dt {dt}")
-        if self.rate > 0 and self.active:
+        if self.rate > 0 and self.status is FlowStatus.PENDING:
             sent = min(self.rate * dt, self.remaining)
             self.remaining -= sent
             self.bytes_sent += sent

@@ -21,6 +21,7 @@ them, which keeps floating-point dust from fragmenting allocations.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterable, Iterator
 
 EPS: float = 1e-9
@@ -328,6 +329,139 @@ class IntervalSet:
             f"short by {remaining:g} after t={after:g}"
         )
 
+    def first_idle_after(self, lo: float, hi: float) -> float | None:
+        """Start of the first gap of ``complement(lo, hi)``, without building it.
+
+        Treats ``self`` as an **occupied** set.  Equivalent to
+        ``self.complement(lo, hi).start()`` (``None`` when the complement
+        is empty), but stops at the first gap instead of materialising the
+        whole idle set.  Used by the candidate-pruning step of Alg. 2: a
+        flow's completion on a path can never precede the path's first
+        idle instant plus the flow's duration, so paths whose bound cannot
+        beat the current best are skipped without a full fit scan.
+        """
+        b = self._b
+        cursor = lo
+        # bisect past every interval ending at/before lo (cheap history skip)
+        k = bisect_right(b, lo + EPS)
+        for i in range(k - (k & 1), len(b), 2):
+            s, e = b[i], b[i + 1]
+            if e <= lo + EPS:
+                continue
+            if s >= hi - EPS:
+                break
+            if max(s, lo) - cursor > EPS:
+                return cursor
+            e_clip = min(e, hi)
+            if e_clip > cursor:
+                cursor = e_clip
+        if hi - cursor > EPS:
+            return cursor
+        return None
+
+    def occupied_fit_end(
+        self,
+        duration: float,
+        lo: float,
+        hi: float,
+        stop_at: float = float("inf"),
+    ) -> float:
+        """First-fit completion treating *this* set as **occupied**.
+
+        Exactly ``self.complement(lo, hi).idle_fit_end(duration, lo)`` —
+        one fused scan instead of materialising the idle set and scanning
+        it again.  This is the per-candidate evaluation of Alg. 2/3 when
+        only the completion time is needed; the winner still builds its
+        slices via :meth:`complement` + :meth:`first_fit`.
+
+        ``stop_at`` aborts the scan once the completion provably cannot
+        fall below it: at any point the fit cannot end before
+        ``cursor + remaining``, so when that reaches ``stop_at`` the exact
+        value no longer matters and ``inf`` is returned.  Alg. 2 passes
+        the current best completion — losing candidates stop scanning as
+        soon as they are beaten instead of walking the whole backlog.
+
+        Raises ``ValueError`` when ``[lo, hi)`` holds less than
+        ``duration`` of idle time (never raised after an abort).
+        """
+        if duration <= EPS:
+            return lo
+        remaining = duration
+        b = self._b
+        cursor = lo
+        k = bisect_right(b, lo + EPS)
+        for i in range(k - (k & 1), len(b), 2):
+            s, e = b[i], b[i + 1]
+            if e <= lo + EPS:
+                continue
+            if s >= hi - EPS:
+                break
+            gap = (s if s > lo else lo) - cursor
+            if gap > EPS:
+                if gap >= remaining - EPS:
+                    return cursor + (gap if gap < remaining else remaining)
+                remaining -= gap
+            e_clip = min(e, hi)
+            if e_clip > cursor:
+                cursor = e_clip
+                if cursor + remaining >= stop_at:
+                    return float("inf")
+        gap = hi - cursor
+        if gap > EPS and gap >= remaining - EPS:
+            return cursor + (gap if gap < remaining else remaining)
+        raise ValueError(
+            f"insufficient idle time: needed {duration:g}, "
+            f"short by {remaining:g} after t={lo:g}"
+        )
+
+    def occupied_first_fit(self, duration: float, lo: float, hi: float) -> "IntervalSet":
+        """First-fit slices treating *this* set as **occupied**.
+
+        Exactly ``self.complement(lo, hi).first_fit(duration, lo)`` — one
+        fused scan instead of materialising the idle set first.  Used by
+        Alg. 3 to build the winning path's slices.
+
+        Raises ``ValueError`` when ``[lo, hi)`` holds less than
+        ``duration`` of idle time.
+        """
+        if duration <= EPS:
+            return IntervalSet()
+        remaining = duration
+        b = self._b
+        cursor = lo
+        out: list[float] = []
+        k = bisect_right(b, lo + EPS)
+        for i in range(k - (k & 1), len(b), 2):
+            s, e = b[i], b[i + 1]
+            if e <= lo + EPS:
+                continue
+            if s >= hi - EPS:
+                break
+            gs = s if s > lo else lo
+            width = gs - cursor
+            if width > EPS:
+                if width >= remaining - EPS:
+                    out.extend(
+                        (cursor,
+                         cursor + (width if width < remaining else remaining))
+                    )
+                    return IntervalSet._from_boundaries(out)
+                out.extend((cursor, gs))
+                remaining -= width
+            e_clip = min(e, hi)
+            if e_clip > cursor:
+                cursor = e_clip
+        width = hi - cursor
+        if width > EPS and width >= remaining - EPS:
+            out.extend(
+                (cursor, cursor + (width if width < remaining else remaining))
+            )
+            return IntervalSet._from_boundaries(out)
+        raise ValueError(
+            f"insufficient idle time: needed {duration:g}, "
+            f"short by {remaining:g} after t={lo:g}"
+        )
+
     def next_boundary(self, t: float) -> float | None:
         """Earliest boundary strictly after ``t`` (slice starts and ends).
 
@@ -367,9 +501,10 @@ def _merge_union(a: list[float], b: list[float]) -> list[float]:
         return list(a)
     out: list[float] = []
     i = j = 0
+    la, lb = len(a), len(b)
     # pull the earlier-starting interval each step, merging overlaps into out
-    while i < len(a) or j < len(b):
-        if j >= len(b) or (i < len(a) and a[i] <= b[j]):
+    while i < la or j < lb:
+        if j >= lb or (i < la and a[i] <= b[j]):
             s, e = a[i], a[i + 1]
             i += 2
         else:
@@ -383,11 +518,144 @@ def _merge_union(a: list[float], b: list[float]) -> list[float]:
     return out
 
 
+def merge_boundaries(a: list[float], b: list[float]) -> list[float]:
+    """Union two flat boundary lists, returning a new list.
+
+    Same result as :func:`_merge_union` (the union is association-free,
+    so any strategy must agree float-for-float), but when one side is much
+    shorter it splices each of its intervals into a copy of the longer
+    side by bisection — O(small · log(large)) Python steps plus C-level
+    ``memmove``, instead of walking the whole long list element-wise.
+    """
+    if not a:
+        return list(b)
+    if not b:
+        return list(a)
+    if len(b) > len(a):
+        a, b = b, a
+    if len(b) * 4 > len(a):
+        return _merge_union(a, b)
+    out = list(a)
+    for j in range(0, len(b), 2):
+        s, e = b[j], b[j + 1]
+        # intervals of `out` gluing with [s, e): those with end >= s - EPS
+        # and start <= e + EPS (the flat list is globally sorted, so plain
+        # bisect positions translate directly to interval indices).  The
+        # bisect lands within one interval of the exact spot; refine with
+        # the two-pointer sweep's literal glue predicate so hairline
+        # cases resolve identically.
+        n = len(out) >> 1
+        k0 = bisect_left(out, s - EPS) >> 1
+        while k0 > 0 and s <= out[2 * k0 - 1] + EPS:
+            k0 -= 1
+        while k0 < n and out[2 * k0 + 1] + EPS < s:
+            k0 += 1
+        k1 = (bisect_right(out, e + EPS) - 1) >> 1
+        if k1 < k0:
+            out[2 * k0 : 2 * k0] = (s, e)
+        else:
+            lo = out[2 * k0]
+            hi = out[2 * k1 + 1]
+            out[2 * k0 : 2 * k1 + 2] = (
+                s if s < lo else lo,
+                e if e > hi else hi,
+            )
+    return out
+
+
+def occupied_fit_end_pair(
+    a: list[float],
+    b: list[float],
+    duration: float,
+    lo: float,
+    hi: float,
+    stop_at: float = float("inf"),
+) -> float:
+    """First-fit completion over the **union** of two occupied boundary
+    lists, without materialising the union.
+
+    Exactly ``merge(a, b) → complement(lo, hi) → idle_fit_end(duration,
+    lo)``, as one two-pointer scan.  Intervals are visited in start order
+    and grouped into the union's canonical intervals with the merge's own
+    glue predicate — a new union interval starts only where ``s`` exceeds
+    the running *unclipped* union end (``uend``) by more than ``EPS``, the
+    literal ``s <= out[-1] + EPS`` test of :func:`_merge_union` — and the
+    fit's gap logic runs once per group start, against the fit's clipped
+    ``cursor``.  Keeping the two predicates separate matters: on
+    EPS-chained boundaries the addition form (``s > uend + EPS``) and the
+    subtraction form (``s - cursor > EPS``) can disagree by one ulp, and
+    only this composition reproduces ``merge → fit`` float-for-float.
+    This is Alg. 2's per-candidate score when the candidate's union is
+    available as two partial folds (shared prefix + interior segment);
+    only the winning candidate ever materialises its union.
+
+    ``stop_at`` aborts with ``inf`` once ``cursor + remaining`` reaches
+    it (the fit provably cannot end earlier — see
+    :meth:`IntervalSet.occupied_fit_end`).  Raises ``ValueError`` when
+    ``[lo, hi)`` holds less than ``duration`` of idle time.
+    """
+    if duration <= EPS:
+        return lo
+    remaining = duration
+    cursor = lo
+    i = bisect_right(a, lo + EPS)
+    i -= i & 1
+    j = bisect_right(b, lo + EPS)
+    j -= j & 1
+    la, lb = len(a), len(b)
+    # The bisects skip intervals ending at/before lo+EPS, but a skipped
+    # interval of one list may still EPS-glue to the first visited
+    # interval of the other (lists are canonical individually, not
+    # jointly): seed ``uend`` with the latest skipped end so head glue
+    # suppresses a phantom sub-2·EPS gap exactly as the real merge would.
+    uend = a[i - 1] if i else lo - 1.0
+    if j and b[j - 1] > uend:
+        uend = b[j - 1]
+    while i < la or j < lb:
+        if j >= lb or (i < la and a[i] <= b[j]):
+            s, e = a[i], a[i + 1]
+            i += 2
+        else:
+            s, e = b[j], b[j + 1]
+            j += 2
+        if s > uend + EPS:
+            # the merge would start a new union interval here: close the
+            # previous group and run the union fit's per-interval step
+            if s >= hi - EPS:
+                break
+            gap = (s if s > lo else lo) - cursor
+            if gap > EPS:
+                if gap >= remaining - EPS:
+                    return cursor + (gap if gap < remaining else remaining)
+                remaining -= gap
+        if e > uend:
+            uend = e
+        if e <= lo + EPS:
+            continue
+        e_clip = e if e < hi else hi
+        if e_clip > cursor:
+            cursor = e_clip
+            if cursor + remaining >= stop_at:
+                return float("inf")
+    gap = hi - cursor
+    if gap > EPS and gap >= remaining - EPS:
+        return cursor + (gap if gap < remaining else remaining)
+    raise ValueError(
+        f"insufficient idle time: needed {duration:g}, "
+        f"short by {remaining:g} after t={lo:g}"
+    )
+
+
 def union_all(sets: Iterable[IntervalSet]) -> IntervalSet:
     """Union an iterable of interval sets (paper Alg. 3 lines 1–4).
 
     Pairwise-merges in sequence; occupancy sets per link are short in
     practice (one interval per allocated slice), so a sweep is adequate.
+    The union is association-free — any fold order yields the identical
+    boundary list, because the EPS-glue groups are determined by the
+    multiset of input intervals alone — which is what lets the occupancy
+    ledger's fast path share partial folds across candidate paths without
+    changing a single float.
     """
     acc: list[float] = []
     for s in sets:
