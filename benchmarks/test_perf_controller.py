@@ -6,9 +6,10 @@ arrivals, ~3.6k flows) through the TAPS controller twice — ``fast_path=True``
 ``fast_path=False`` (the pre-fast-path reference: per-candidate union fold +
 complement + fit, deep-copied trial ledgers) — and asserts:
 
-1. **Equivalence**: the two runs make the *same decisions* — identical
-   accept/reject/preempt sequence, identical victims, and float-identical
-   flow plans (path + slice boundaries + completion) at every commit.
+1. **Equivalence**: the two runs make the *same decisions* — the decision
+   traces (:mod:`repro.trace`) serialize to byte-identical JSONL (same
+   accept/reject/preempt sequence, same victims, float-identical plans at
+   every commit), and both traces pass the schedule invariant auditor.
 2. **Speedup**: at full scale, controller time (admission + reallocation,
    measured around the scheduler callbacks) improves by >= 2x.
 
@@ -31,6 +32,7 @@ from repro.core.controller import TapsScheduler
 from repro.net.fattree import FatTree
 from repro.net.paths import PathService
 from repro.sim.engine import Engine
+from repro.trace import TraceRecorder, audit_trace
 from repro.workload.generator import WorkloadConfig, generate_workload
 
 SCALES = {
@@ -48,19 +50,19 @@ HOSTS_USED = 64
 MAX_PATHS = 8
 
 
-class _RecordingScheduler(TapsScheduler):
-    """TAPS with a decision trace and a controller-time stopwatch.
+class _TimedScheduler(TapsScheduler):
+    """TAPS with a controller-time stopwatch.
 
-    ``trace`` captures every commit (task, victims, full plan snapshot
-    with float-exact slice boundaries) and every rejection — enough to
-    prove two runs scheduled identically.  ``controller_seconds`` sums
-    wall time spent inside admission, the honest "controller cost"
-    (path calculation + trial ledger management + reject rule).
+    ``controller_seconds`` sums wall time spent inside admission, the
+    honest "controller cost" (path calculation + trial ledger management
+    + reject rule).  Decisions are captured by the shared
+    :class:`~repro.trace.recorder.TraceRecorder` instead of ad-hoc
+    subclass hooks — the trace events carry float-exact plan snapshots,
+    so comparing serialized traces proves two runs scheduled identically.
     """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.trace: list[tuple] = []
         self.controller_seconds = 0.0
 
     def on_task_arrival(self, task_state, now):
@@ -69,22 +71,6 @@ class _RecordingScheduler(TapsScheduler):
             super().on_task_arrival(task_state, now)
         finally:
             self.controller_seconds += time.perf_counter() - t0
-
-    def _commit(self, task_state, trial_plans, trial_ledger, victims):
-        self.trace.append((
-            "accept",
-            task_state.task.task_id,
-            tuple(sorted(victims)),
-            tuple(sorted(
-                (fid, p.path, tuple(p.slices._b), p.completion)
-                for fid, p in trial_plans.items()
-            )),
-        ))
-        super()._commit(task_state, trial_plans, trial_ledger, victims)
-
-    def _reject(self, task_state, reason="would-miss", lateness=(), now=0.0):
-        self.trace.append(("reject", task_state.task.task_id, reason))
-        super()._reject(task_state, reason=reason, lateness=lateness, now=now)
 
 
 def _workload(scale: dict):
@@ -95,14 +81,21 @@ def _workload(scale: dict):
 
 
 def _run(topo, tasks, fast: bool):
-    sched = _RecordingScheduler(fast_path=fast)
+    sched = _TimedScheduler(fast_path=fast)
     paths = PathService(topo, max_paths=MAX_PATHS)
+    recorder = TraceRecorder()
     t0 = time.perf_counter()
-    result = Engine(topo, tasks, sched, path_service=paths).run()
+    result = Engine(topo, tasks, sched, path_service=paths,
+                    trace=recorder).run()
     wall = time.perf_counter() - t0
+    audit = audit_trace(recorder)
+    assert audit.ok, audit.summary()
     return {
         "wall_seconds": wall,
         "controller_seconds": sched.controller_seconds,
+        "trace_jsonl": recorder.dumps(),
+        "trace_events": recorder.emitted,
+        "audit_ok": audit.ok,
         "stats": {
             "tasks_accepted": sched.stats.tasks_accepted,
             "tasks_rejected": sched.stats.tasks_rejected,
@@ -111,7 +104,6 @@ def _run(topo, tasks, fast: bool):
             "flows_planned": sched.stats.flows_planned,
         },
         "profile": sched.stats.profile.as_dict(),
-        "trace": sched.trace,
         "flows": [
             (fs.flow.flow_id, fs.remaining, fs.met_deadline)
             for fs in result.flow_states
@@ -130,9 +122,10 @@ def test_perf_controller(results_dir):
     fast = _run(topo, tasks, fast=True)
     slow = _run(topo, tasks, fast=False)
 
-    # 1. bit-identical scheduling: same decision sequence, same victims,
-    # float-identical plans, same end-of-run flow/task outcomes
-    assert fast["trace"] == slow["trace"]
+    # 1. bit-identical scheduling: the serialized decision traces match
+    # byte for byte (same decision sequence, same victims, float-identical
+    # plans), and the end-of-run flow/task outcomes agree
+    assert fast["trace_jsonl"] == slow["trace_jsonl"]
     assert fast["flows"] == slow["flows"]
     assert fast["tasks"] == slow["tasks"]
     assert fast["stats"] == slow["stats"]
@@ -150,6 +143,8 @@ def test_perf_controller(results_dir):
                      "topology": "fattree-k8", "max_paths": MAX_PATHS,
                      "num_flows": sum(len(t.flows) for t in tasks)},
         "decisions_identical": True,
+        "trace_events": fast["trace_events"],
+        "audit_ok": fast["audit_ok"] and slow["audit_ok"],
         "fast": {k: fast[k] for k in
                  ("wall_seconds", "controller_seconds", "stats", "profile")},
         "slow": {k: slow[k] for k in

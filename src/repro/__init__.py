@@ -21,6 +21,7 @@ Package map
 ``repro.sim``       the fluid flow-level simulation engine
 ``repro.metrics``   completion ratios, throughput, waste, time series
 ``repro.sdn``       controller/server/switch message-level protocol model
+``repro.trace``     decision-trace events, recorder, invariant auditor
 ``repro.exp``       one experiment runner per paper table/figure
 ``repro.nphard``    the §IV-B Hamiltonian-circuit reduction, executable
 """
@@ -54,6 +55,7 @@ from repro.sim import (
     SimulationResult,
     TaskOutcome,
 )
+from repro.trace import AuditReport, TraceRecorder, audit_trace, load_jsonl
 from repro.util import IntervalSet
 from repro.viz import render_flow_gantt, render_link_gantt
 from repro.workload import (
@@ -94,6 +96,10 @@ __all__ = [
     "FlowStatus",
     "SimulationResult",
     "TaskOutcome",
+    "AuditReport",
+    "TraceRecorder",
+    "audit_trace",
+    "load_jsonl",
     "IntervalSet",
     "render_flow_gantt",
     "render_link_gantt",

@@ -9,6 +9,8 @@ Subcommands::
     repro-taps nphard                # demo the §IV-B reduction
     repro-taps zoo                   # TAPS on tree/fat-tree/BCube/FiConn
     repro-taps optimality            # online TAPS vs the offline bound
+    repro-taps run --trace out.jsonl # one traced TAPS run (fat-tree)
+    repro-taps audit out.jsonl       # replay a trace against invariants
 
 Figures print the same rows/series the paper reports; absolute values
 differ (simulated substrate, scaled topology) but orderings and trends
@@ -172,6 +174,58 @@ def _cmd_optimality(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from repro.exp.runner import run_traced
+    from repro.metrics import summarize, trace_digest
+    from repro.sim.faults import LinkFault
+
+    faults = None
+    if args.fault is not None:
+        link, start, end = args.fault
+        faults = [LinkFault(int(link), start, end)]
+    result, recorder = run_traced(
+        scale=SCALES[args.scale], num_tasks=args.tasks, seed=args.seed,
+        fast_path=not args.no_fast_path, faults=faults,
+    )
+    m = summarize(result)
+    print(f"{result.scheduler_name} on {result.topology_name}: "
+          f"task ratio {m.task_completion_ratio:.3f}, "
+          f"flow ratio {m.flow_completion_ratio:.3f}, "
+          f"finished at t={result.finished_at:.4f}")
+    for line in trace_digest(recorder).lines():
+        print(f"  {line}")
+    if args.trace is not None:
+        out = recorder.to_jsonl(args.trace)
+        print(f"wrote {out} ({recorder.emitted} events)")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.metrics import trace_digest
+    from repro.trace import audit_trace, load_jsonl
+
+    trace = load_jsonl(args.trace)
+    for key, value in sorted(trace.meta.items()):
+        print(f"  {key}: {value}")
+    for line in trace_digest(trace.events).lines():
+        print(f"  {line}")
+    report = audit_trace(trace)
+    if report.truncated:
+        print("WARNING: trace ring overflowed — the stream is incomplete "
+              "and this audit is unsound")
+    if report.ok:
+        print(f"audit OK: 0 violations over {report.events_audited} events")
+        return 0
+    print(f"audit FAILED: {len(report.violations)} violation(s) over "
+          f"{report.events_audited} events")
+    for v in report.violations[: args.max_violations]:
+        print(f"  {v}")
+    hidden = len(report.violations) - args.max_violations
+    if hidden > 0:
+        print(f"  ... and {hidden} more")
+    return 1
+
+
 def _cmd_report(args) -> int:
     from repro.exp.runner import generate_report
 
@@ -214,6 +268,29 @@ def main(argv: list[str] | None = None) -> int:
                            help="online TAPS vs the offline bound")
     p_opt.add_argument("--instances", type=int, default=8)
     p_opt.set_defaults(func=_cmd_optimality)
+
+    p_run = sub.add_parser("run",
+                           help="one traced TAPS run on a fat-tree workload")
+    p_run.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_run.add_argument("--tasks", type=int, default=None,
+                       help="override the scale's task count")
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--trace", default=None, metavar="FILE",
+                       help="write the decision trace as JSONL")
+    p_run.add_argument("--fault", nargs=3, type=float, default=None,
+                       metavar=("LINK", "START", "END"),
+                       help="inject one link outage [START, END)")
+    p_run.add_argument("--no-fast-path", action="store_true",
+                       help="use the reference (uncached) controller")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_aud = sub.add_parser("audit",
+                           help="replay a JSONL trace against the paper's "
+                                "schedule invariants")
+    p_aud.add_argument("trace", metavar="FILE")
+    p_aud.add_argument("--max-violations", type=int, default=10,
+                       help="print at most this many violations")
+    p_aud.set_defaults(func=_cmd_audit)
 
     p_rep = sub.add_parser("report",
                            help="regenerate every figure into a markdown file")

@@ -32,6 +32,17 @@ from repro.core.occupancy import OccupancyLedger
 from repro.metrics.profiling import ProfileCounters
 from repro.sched.base import PRIORITY_KEYS, Scheduler
 from repro.sim.state import FlowState, FlowStatus, TaskState
+from repro.trace.events import (
+    FaultReallocation,
+    PlanRecord,
+    Preemption,
+    TaskAccept,
+    TaskDrop,
+    TaskReject,
+    TrialBegin,
+    TrialRollback,
+)
+from repro.trace.recorder import TraceRecorder
 from repro.util.intervals import EPS, IntervalSet
 
 #: how far into the future a down link is considered unusable; the
@@ -134,6 +145,17 @@ class TapsScheduler(Scheduler):
         and flow plans are identical either way (asserted by
         ``benchmarks/test_perf_controller.py``); ``False`` is the
         pre-fast-path reference mode those comparisons run against.
+    trace:
+        Optional :class:`~repro.trace.recorder.TraceRecorder`: the
+        controller emits its decision pipeline into it as typed events
+        (trial begin/rollback, accept with the full committed plan
+        table, reject with the rule clause that fired, preemptions,
+        fault reallocations) for offline auditing
+        (:func:`~repro.trace.audit.audit_trace`).  Events record
+        decisions only — never fast-path internals — so decision-equal
+        runs emit identical streams.  When the engine is constructed
+        with a recorder it hands it to an un-traced TAPS scheduler
+        automatically.
     """
 
     name = "TAPS"
@@ -148,6 +170,7 @@ class TapsScheduler(Scheduler):
         priority: str = "edf_sjf",
         explain: bool = False,
         fast_path: bool = True,
+        trace: TraceRecorder | None = None,
     ) -> None:
         super().__init__()
         if batch_window < 0 or control_latency < 0:
@@ -167,6 +190,7 @@ class TapsScheduler(Scheduler):
         self._priority_key = PRIORITY_KEYS[priority]
         self.explain = explain
         self.fast_path = fast_path
+        self.trace = trace
         self.diagnostics: list[RejectionDiagnostics] = []
         self._switch_of_link: dict[int, str] = {}
         self.stats = TapsStats()
@@ -199,6 +223,49 @@ class TapsScheduler(Scheduler):
         self._switch_of_link = {
             l.index: l.src for l in topology.links if l.src in switch_set
         }
+        if self.trace is not None:
+            # trace identity: what the auditor needs to pick invariants.
+            # Deliberately excludes fast_path — decision-equal modes must
+            # serialize identically (asserted by the equivalence tests).
+            self.trace.set_meta(
+                scheduler=self.name,
+                priority=self.priority,
+                preemption=self.rule.policy.value,
+                reallocate_inflight=self.reallocate_inflight,
+                exclusive_links=True,
+            )
+
+    # -- decision tracing ---------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if self.trace is not None:
+            self.trace.emit(event)
+
+    def _plan_records(self) -> tuple[PlanRecord, ...]:
+        """The committed plan table as trace records (sorted by flow id —
+        construction-order independent, so snapshots diff cleanly)."""
+        return tuple(
+            PlanRecord(
+                flow_id=fid,
+                task_id=p.flow_state.flow.task_id,
+                path=tuple(p.path),
+                slices=tuple(p.slices._b),
+                completion=p.completion,
+                deadline=p.flow_state.flow.deadline,
+            )
+            for fid, p in sorted(self.plans.items())
+        )
+
+    @staticmethod
+    def _trial_flows(
+        ftmp: list[FlowState],
+    ) -> tuple[tuple[int, float, float, float], ...]:
+        """``Ftmp`` in trial order, with the sort-key fields the auditor
+        re-checks: ``(flow_id, deadline, remaining, release)``."""
+        return tuple(
+            (fs.flow.flow_id, fs.flow.deadline, fs.remaining, fs.flow.release)
+            for fs in ftmp
+        )
 
     # -- admission (Alg. 1) ------------------------------------------------
 
@@ -240,8 +307,15 @@ class TapsScheduler(Scheduler):
         # fast path: one outage-only base ledger, reset between retries by
         # the rollback journal instead of being rebuilt from scratch
         trial_base = self._outage_ledger() if self.fast_path else None
+        attempt = 0
         while True:
+            attempt += 1
             ftmp = sorted(old_flows + new_flows, key=self._priority_key)
+            if self.trace is not None:
+                self.trace.emit(TrialBegin(
+                    now, task_id=task_state.task.task_id, attempt=attempt,
+                    flows=self._trial_flows(ftmp),
+                ))
             if trial_base is not None:
                 trial_ledger = trial_base
                 trial_ledger.begin_trial()
@@ -258,7 +332,13 @@ class TapsScheduler(Scheduler):
 
             # a new-task flow with no usable path at all (outage) → reject
             if any(fs.flow.flow_id not in trial_plans for fs in new_flows):
-                self._reject(task_state, reason="unreachable", now=now)
+                missing = tuple(
+                    (fs.flow.flow_id, fs.flow.task_id)
+                    for fs in new_flows
+                    if fs.flow.flow_id not in trial_plans
+                )
+                self._reject(task_state, reason="unreachable", now=now,
+                             missing=missing)
                 return
 
             decision = self.rule.evaluate(trial_plans, task_state, self._task_states)
@@ -270,7 +350,7 @@ class TapsScheduler(Scheduler):
                     return
                 if trial_base is not None:
                     trial_ledger.commit_trial()
-                self._commit(task_state, trial_plans, trial_ledger, victims)
+                self._commit(task_state, trial_plans, trial_ledger, victims, now)
                 return
 
             if decision.decision is Decision.REJECT_NEW:
@@ -285,8 +365,17 @@ class TapsScheduler(Scheduler):
                     else (fid, float("inf"))
                     for fid in decision.missing_flow_ids
                 )
+                missing = tuple(
+                    (fid,
+                     trial_plans[fid].flow_state.flow.task_id
+                     if fid in trial_plans else task_state.task.task_id)
+                    for fid in decision.missing_flow_ids
+                )
                 self._reject(task_state, reason="would-miss",
-                             lateness=lateness, now=now)
+                             lateness=lateness, now=now,
+                             clause=decision.clause, missing=missing,
+                             victim_ratio=decision.victim_ratio,
+                             new_ratio=decision.new_ratio)
                 return
 
             # DISCARD_VICTIM: retry the trial without the victim's flows.
@@ -294,6 +383,12 @@ class TapsScheduler(Scheduler):
             # up rejected anyway (e.g. by the table limit), the victim's
             # committed plans were never touched and it survives intact.
             assert decision.victim_task_id is not None
+            self._emit(TrialRollback(
+                now, task_id=task_state.task.task_id, attempt=attempt,
+                victim_task_id=decision.victim_task_id,
+                victim_ratio=decision.victim_ratio,
+                new_ratio=decision.new_ratio,
+            ))
             victims.append(decision.victim_task_id)
             old_flows = [
                 fs for fs in old_flows if fs.flow.task_id != decision.victim_task_id
@@ -307,6 +402,7 @@ class TapsScheduler(Scheduler):
         trial_plans: dict[int, FlowPlan],
         trial_ledger: OccupancyLedger,
         victims: list[int],
+        now: float,
     ) -> None:
         # the preemption decided during the trial becomes real only now:
         # kill the victims' flows (their bytes become TAPS' only waste).
@@ -314,11 +410,18 @@ class TapsScheduler(Scheduler):
         # shows up as a FAILED outcome.
         for victim_id in victims:
             victim_state = self._task_states[victim_id]
+            killed: list[int] = []
             for fs in victim_state.flow_states:
                 if fs.active:
                     fs.kill(FlowStatus.TERMINATED)
+                    killed.append(fs.flow.flow_id)
                 self.plans.pop(fs.flow.flow_id, None)
                 self._accepted_flows.pop(fs.flow.flow_id, None)
+            self._emit(Preemption(
+                now, victim_task_id=victim_id,
+                by_task_id=task_state.task.task_id,
+                killed_flows=tuple(killed),
+            ))
 
         self.plans = dict(trial_plans)
         self.ledger = trial_ledger
@@ -336,6 +439,12 @@ class TapsScheduler(Scheduler):
         self.active_flows = [
             fs for fs in self._accepted_flows.values() if fs.active
         ]
+        if self.trace is not None:
+            self.trace.emit(TaskAccept(
+                now, task_id=task_state.task.task_id,
+                victims=tuple(sorted(victims)),
+                plans=self._plan_records(),
+            ))
 
     def _admit_incremental(
         self, task_state: TaskState, new_flows: list[FlowState], now: float
@@ -348,6 +457,11 @@ class TapsScheduler(Scheduler):
         """
         assert self.paths is not None
         ftmp = sorted(new_flows, key=self._priority_key)
+        if self.trace is not None:
+            self.trace.emit(TrialBegin(
+                now, task_id=task_state.task.task_id, attempt=1,
+                flows=self._trial_flows(ftmp),
+            ))
         if self.fast_path:
             # trial directly on the live ledger; the journal undoes a
             # rejected trial instead of deep-copying every link upfront
@@ -374,22 +488,35 @@ class TapsScheduler(Scheduler):
 
         reject_reason: str | None = None
         lateness: tuple = ()
+        missing: tuple = ()
+        clause: int | None = None
+        task_id = task_state.task.task_id
         if len(trial_plans) < len(new_flows):
             reject_reason = "unreachable"
+            missing = tuple(
+                (fs.flow.flow_id, task_id)
+                for fs in new_flows
+                if fs.flow.flow_id not in trial_plans
+            )
         elif any(not p.meets_deadline for p in trial_plans.values()):
+            # only the newcomer's flows were (re)planned, so a miss here
+            # is always the new task's own — the rule's clause 2
             reject_reason = "would-miss"
+            clause = 2
             lateness = tuple(
                 (fid, p.completion - p.flow_state.flow.deadline)
                 for fid, p in trial_plans.items()
                 if not p.meets_deadline
             )
+            missing = tuple((fid, task_id) for fid, _ in lateness)
         elif not self._tables_fit({**self.plans, **trial_plans}):
             reject_reason = "table-limit"
         if reject_reason is not None:
             if self.fast_path:
                 trial_ledger.rollback_trial()
             self._reject(task_state, reason=reject_reason,
-                         lateness=lateness, now=now)
+                         lateness=lateness, now=now,
+                         clause=clause, missing=missing)
             return
 
         if self.fast_path:
@@ -404,6 +531,11 @@ class TapsScheduler(Scheduler):
             if fs.active:
                 self._accepted_flows[fs.flow.flow_id] = fs
         self.stats.tasks_accepted += 1
+        if self.trace is not None:
+            self.trace.emit(TaskAccept(
+                now, task_id=task_state.task.task_id, victims=(),
+                plans=self._plan_records(),
+            ))
 
     def _reject(
         self,
@@ -411,9 +543,18 @@ class TapsScheduler(Scheduler):
         reason: str = "would-miss",
         lateness: tuple = (),
         now: float = 0.0,
+        clause: int | None = None,
+        missing: tuple = (),
+        victim_ratio: float | None = None,
+        new_ratio: float | None = None,
     ) -> None:
         self._reject_task(task_state)
         self.stats.tasks_rejected += 1
+        self._emit(TaskReject(
+            now, task_id=task_state.task.task_id, reason=reason,
+            clause=clause, missing=tuple(missing), lateness=tuple(lateness),
+            victim_ratio=victim_ratio, new_ratio=new_ratio,
+        ))
         if self.explain:
             self.diagnostics.append(
                 RejectionDiagnostics(
@@ -489,6 +630,7 @@ class TapsScheduler(Scheduler):
     def _reallocate_inflight(self, now: float) -> None:
         flows = [fs for fs in self._accepted_flows.values() if fs.active]
         trial_base = self._outage_ledger() if self.fast_path else None
+        dropped: list[int] = []
         while True:
             ftmp = sorted(flows, key=self._priority_key)
             if trial_base is not None:
@@ -516,16 +658,26 @@ class TapsScheduler(Scheduler):
                 for p in plans.values():
                     p.flow_state.path = p.path
                 self.stats.fault_reroutes += 1
+                if self.trace is not None:
+                    self.trace.emit(FaultReallocation(
+                        now,
+                        down_links=tuple(sorted(self._down_links)),
+                        dropped_tasks=tuple(sorted(dropped)),
+                        plans=self._plan_records(),
+                    ))
                 return
             # a task the outage made unmeetable: stop it now rather than
             # waste bandwidth on a doomed transfer (task-level philosophy)
             for tid in missing_tasks:
-                self._drop_task_on_fault(tid)
+                if self._drop_task_on_fault(tid, now):
+                    dropped.append(tid)
             flows = [fs for fs in flows if fs.flow.task_id not in missing_tasks]
             if trial_base is not None:
                 trial_base.rollback_trial()
 
-    def _drop_task_on_fault(self, task_id: int) -> bool:
+    def _drop_task_on_fault(
+        self, task_id: int, now: float = 0.0, cause: str = "fault"
+    ) -> bool:
         """Kill the task's flows and count the drop.
 
         Returns whether anything was dropped — ``False`` when the task was
@@ -542,6 +694,7 @@ class TapsScheduler(Scheduler):
             self.plans.pop(fs.flow.flow_id, None)
             self._accepted_flows.pop(fs.flow.flow_id, None)
         self.stats.tasks_dropped_on_fault += 1
+        self._emit(TaskDrop(now, task_id=task_id, cause=cause))
         return True
 
     # -- lifecycle -------------------------------------------------------------
@@ -557,7 +710,7 @@ class TapsScheduler(Scheduler):
         # numerical corner case).  Task-level no-waste: stop the whole
         # task, not just this flow.
         self.stats.backstop_kills += 1
-        if self._drop_task_on_fault(fs.flow.task_id):
+        if self._drop_task_on_fault(fs.flow.task_id, now, cause="backstop"):
             # reclassify: this drop is a backstop kill, not a fault drop.
             # When the task was never registered (still pending in a batch
             # window) nothing was counted, so nothing may be decremented —

@@ -55,11 +55,22 @@ class Decision(enum.Enum):
 
 @dataclass(slots=True)
 class RejectDecision:
-    """Outcome of one rule evaluation."""
+    """Outcome of one rule evaluation.
+
+    ``clause`` names which clause of the rule fired (for the decision
+    trace and the auditor): 1 — flows of several tasks missing, 2 — the
+    new task's own flows missing, 3 — the single-victim ratio comparison
+    (either direction).  ``None`` on a clean accept.  ``victim_ratio`` /
+    ``new_ratio`` are the completion ratios clause 3 compared, recorded
+    so the comparison can be re-checked offline.
+    """
 
     decision: Decision
     victim_task_id: int | None = None
     missing_flow_ids: tuple[int, ...] = ()
+    clause: int | None = None
+    victim_ratio: float | None = None
+    new_ratio: float | None = None
 
 
 class RejectRule:
@@ -88,33 +99,62 @@ class RejectRule:
         missing_tasks = {p.flow_state.flow.task_id for p in missing}
         new_id = new_task.task.task_id
 
-        if new_id in missing_tasks or len(missing_tasks) > 1:
-            return RejectDecision(Decision.REJECT_NEW, missing_flow_ids=missing_ids)
+        if new_id in missing_tasks:
+            # clause 2: the newcomer's own flows cannot make it
+            return RejectDecision(
+                Decision.REJECT_NEW, missing_flow_ids=missing_ids, clause=2
+            )
+        if len(missing_tasks) > 1:
+            # clause 1: the newcomer would wreck several incumbents
+            return RejectDecision(
+                Decision.REJECT_NEW, missing_flow_ids=missing_ids, clause=1
+            )
 
+        # clause 3: exactly one other task would miss — compare ratios
         (victim_id,) = missing_tasks
         victim = task_states[victim_id]
-        if self._newcomer_wins(plans, victim, new_task):
+        victim_ratio, new_ratio = self._ratios(plans, victim, new_task)
+        if self._newcomer_wins(victim_ratio, new_ratio):
             return RejectDecision(
                 Decision.DISCARD_VICTIM,
                 victim_task_id=victim_id,
                 missing_flow_ids=missing_ids,
+                clause=3,
+                victim_ratio=victim_ratio,
+                new_ratio=new_ratio,
             )
-        return RejectDecision(Decision.REJECT_NEW, missing_flow_ids=missing_ids)
+        return RejectDecision(
+            Decision.REJECT_NEW,
+            missing_flow_ids=missing_ids,
+            clause=3,
+            victim_ratio=victim_ratio,
+            new_ratio=new_ratio,
+        )
 
-    def _newcomer_wins(
+    def _ratios(
         self,
         plans: dict[int, FlowPlan],
         victim: TaskState,
         new_task: TaskState,
-    ) -> bool:
+    ) -> tuple[float, float]:
+        """The (victim, newcomer) completion ratios clause 3 compares.
+
+        Under ``NEVER`` the comparison is unconditional, but the progress
+        ratios are still recorded for the decision trace.
+        """
+        if self.policy is PreemptionPolicy.PROSPECTIVE:
+            return self._prospective(plans, victim), self._prospective(plans, new_task)
+        return victim.completion_ratio, new_task.completion_ratio
+
+    def _newcomer_wins(self, victim_ratio: float, new_ratio: float) -> bool:
         if self.policy is PreemptionPolicy.NEVER:
             return False
         if self.policy is PreemptionPolicy.PROGRESS:
             # "if the completion ratio of [the victim] is less than tid,
             # discard [the victim]" — strict, so ties keep the incumbent.
-            return victim.completion_ratio < new_task.completion_ratio - 1e-12
+            return victim_ratio < new_ratio - 1e-12
         # PROSPECTIVE: fraction of flows meeting deadlines under the trial
-        return self._prospective(plans, victim) < self._prospective(plans, new_task)
+        return victim_ratio < new_ratio
 
     @staticmethod
     def _prospective(plans: dict[int, FlowPlan], ts: TaskState) -> float:

@@ -1,9 +1,14 @@
-"""One-shot report generation: every figure → a markdown results file.
+"""One-shot report generation and traced single runs.
 
 ``python -m repro report --out results.md`` regenerates each paper figure
 at the chosen scale and writes a self-contained markdown report with the
 same tables the benchmarks assert on — the quickest way to refresh
 EXPERIMENTS.md-style numbers after a change.
+
+:func:`run_traced` is the single-run counterpart behind
+``repro-taps run --trace out.jsonl``: one TAPS run on a fat-tree workload
+with a :class:`~repro.trace.recorder.TraceRecorder` attached, ready for
+``repro-taps audit``.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from repro.exp.figures import FIGURES, FigureRun, run_figure
 from repro.exp.motivation import run_all as run_motivation
 from repro.exp.report import render_sweep, render_sweep_with_ci, render_timeseries
 from repro.exp.shapes import check_shapes
+from repro.trace import TraceRecorder
 
 
 def figure_markdown(run: FigureRun, scale: Scale, took: float) -> str:
@@ -86,3 +92,39 @@ def generate_report(
     out = Path(out_path)
     out.write_text("\n".join(sections))
     return out
+
+
+def run_traced(
+    scale: Scale = SMALL,
+    num_tasks: int | None = None,
+    seed: int = 7,
+    fast_path: bool = True,
+    faults=None,
+):
+    """One TAPS run on the scale's fat-tree with a trace attached.
+
+    Returns ``(result, recorder)`` — the
+    :class:`~repro.sim.engine.SimulationResult` and the filled
+    :class:`~repro.trace.recorder.TraceRecorder` (export with
+    ``recorder.to_jsonl(path)``, check with
+    :func:`repro.trace.audit_trace`).
+    """
+    from repro.core.controller import TapsScheduler
+    from repro.net.paths import PathService
+    from repro.sim.engine import Engine
+    from repro.workload.generator import generate_workload
+
+    topo = scale.fat_tree()
+    overrides: dict = {"seed": seed}
+    if num_tasks is not None:
+        overrides["num_tasks"] = num_tasks
+    cfg = scale.workload_config(**overrides)
+    tasks = generate_workload(cfg, list(topo.hosts))
+    recorder = TraceRecorder()
+    engine = Engine(
+        topo, tasks, TapsScheduler(fast_path=fast_path),
+        path_service=PathService(topo, max_paths=scale.max_paths),
+        faults=faults, trace=recorder,
+    )
+    result = engine.run()
+    return result, recorder

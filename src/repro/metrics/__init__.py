@@ -11,11 +11,21 @@
 
 Plus controller-internal instrumentation: :mod:`repro.metrics.profiling`
 counts the allocation hot path's work (union-cache hits, intervals
-scanned, candidates pruned, time in path calculation).
+scanned, candidates pruned, time in path calculation), and
+:mod:`repro.metrics.tracestats` digests a decision trace
+(:mod:`repro.trace`) into headline admission/preemption/slice counts.
 """
 
 from repro.metrics.profiling import ProfileCounters
 from repro.metrics.summary import RunMetrics, summarize
 from repro.metrics.timeseries import ThroughputTimeSeries
+from repro.metrics.tracestats import TraceDigest, trace_digest
 
-__all__ = ["ProfileCounters", "RunMetrics", "summarize", "ThroughputTimeSeries"]
+__all__ = [
+    "ProfileCounters",
+    "RunMetrics",
+    "summarize",
+    "ThroughputTimeSeries",
+    "TraceDigest",
+    "trace_digest",
+]

@@ -1,0 +1,100 @@
+"""Digest of a decision trace: headline counts for humans and CI.
+
+The auditor (:mod:`repro.trace.audit`) answers "is this schedule
+*legal*?"; this module answers "what happened?" — how many tasks arrived,
+were accepted / rejected (by which clause), preempted, dropped on faults,
+how many slices the network actually carried.  ``repro-taps audit``
+prints the digest above the verdict so a violation report comes with its
+denominators.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.trace.events import TraceEvent
+
+
+@dataclass(slots=True)
+class TraceDigest:
+    """Headline counts extracted from one event stream."""
+
+    events: int = 0
+    tasks_arrived: int = 0
+    tasks_accepted: int = 0
+    tasks_rejected: int = 0
+    tasks_preempted: int = 0
+    tasks_dropped: int = 0
+    trial_attempts: int = 0
+    fault_reallocations: int = 0
+    link_state_changes: int = 0
+    slices: int = 0
+    flows_completed: int = 0
+    flows_met: int = 0
+    deadline_expiries: int = 0
+    rejects_by_clause: dict[str, int] = field(default_factory=dict)
+
+    def lines(self) -> list[str]:
+        """The digest as aligned ``name: value`` report lines."""
+        out = [
+            f"events:              {self.events}",
+            f"tasks arrived:       {self.tasks_arrived}",
+            f"  accepted:          {self.tasks_accepted}",
+            f"  rejected:          {self.tasks_rejected}"
+            + (
+                "  (" + ", ".join(
+                    (f"clause {c}: {n}" if c.isdigit() else f"{c}: {n}")
+                    for c, n in sorted(self.rejects_by_clause.items())
+                ) + ")"
+                if self.rejects_by_clause
+                else ""
+            ),
+            f"  preempted:         {self.tasks_preempted}",
+            f"  dropped:           {self.tasks_dropped}",
+            f"trial attempts:      {self.trial_attempts}",
+            f"fault reallocations: {self.fault_reallocations}",
+            f"link state changes:  {self.link_state_changes}",
+            f"slices transmitted:  {self.slices}",
+            f"flows completed:     {self.flows_completed} "
+            f"({self.flows_met} met deadlines)",
+            f"deadline expiries:   {self.deadline_expiries}",
+        ]
+        return out
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> TraceDigest:
+    """Summarize an event stream (a recorder, a loaded trace's events)."""
+    d = TraceDigest()
+    clauses: Counter[str] = Counter()
+    for e in events:
+        d.events += 1
+        kind = e.kind
+        if kind == "task-arrival":
+            d.tasks_arrived += 1
+        elif kind == "task-accept":
+            d.tasks_accepted += 1
+        elif kind == "task-reject":
+            d.tasks_rejected += 1
+            clauses[str(e.clause) if e.clause is not None else e.reason] += 1
+        elif kind == "preemption":
+            d.tasks_preempted += 1
+        elif kind == "task-drop":
+            d.tasks_dropped += 1
+        elif kind == "trial-begin":
+            d.trial_attempts += 1
+        elif kind == "fault-reallocation":
+            d.fault_reallocations += 1
+        elif kind == "link-state-change":
+            d.link_state_changes += 1
+        elif kind == "slice-start":
+            d.slices += 1
+        elif kind == "flow-completed":
+            d.flows_completed += 1
+            if e.met_deadline:
+                d.flows_met += 1
+        elif kind == "deadline-expired":
+            d.deadline_expiries += 1
+    d.rejects_by_clause = dict(clauses)
+    return d

@@ -26,6 +26,16 @@ from dataclasses import dataclass, field
 from repro.net.paths import PathService
 from repro.net.topology import Topology
 from repro.sim.state import FlowState, FlowStatus, TaskState, TaskOutcome
+from repro.trace.events import (
+    DeadlineExpired,
+    FlowCompleted,
+    LinkStateChange,
+    RunEnd,
+    SliceEnd,
+    SliceStart,
+    TaskArrival,
+)
+from repro.trace.recorder import TraceRecorder
 from repro.util.errors import SimulationError
 from repro.util.intervals import EPS
 from repro.workload.flow import Task
@@ -101,6 +111,14 @@ class Engine:
         flow is terminated and the run settles.  Useful for fixed-window
         measurements of deadline-oblivious policies whose doomed flows
         would otherwise run long past every deadline.
+    trace:
+        Optional :class:`~repro.trace.recorder.TraceRecorder`.  The
+        engine emits the physical timeline (arrivals, slice
+        transitions after down-link zeroing, completions, deadline
+        expiries, link-state changes, run end) into it, and — when the
+        scheduler supports tracing but was built without a recorder —
+        hands the same recorder to the scheduler before ``attach`` so
+        controller decisions and engine facts interleave in one stream.
     """
 
     def __init__(
@@ -113,6 +131,7 @@ class Engine:
         max_events: int = 10_000_000,
         faults=None,
         horizon: float | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         from repro.sim.faults import FaultSchedule
 
@@ -142,6 +161,10 @@ class Engine:
             self.flow_states.extend(ts.flow_states)
         self._task_by_id = {ts.task.task_id: ts for ts in self.task_states}
         self.counters = EngineCounters()
+        self.trace = trace
+        # flow_id -> (path, task_id) of flows physically transmitting now;
+        # diffed against the post-recompute picture to emit slice events
+        self._transmitting: dict[int, tuple[tuple[int, ...], int]] = {}
 
     # -- main loop -----------------------------------------------------------
 
@@ -158,6 +181,11 @@ class Engine:
             )
         self._ran = True
         sched = self.scheduler
+        trace = self.trace
+        if trace is not None and getattr(sched, "trace", False) is None:
+            # the scheduler supports tracing but has no recorder: share ours
+            # (must happen before attach — that's where meta is stamped)
+            sched.trace = trace
         sched.attach(self.topology, self.path_service)
 
         now = 0.0
@@ -190,6 +218,14 @@ class Engine:
                 ts = self._arrivals[next_arrival_idx]
                 next_arrival_idx += 1
                 self.counters.arrivals += 1
+                if trace is not None:
+                    trace.emit(TaskArrival(
+                        now,
+                        task_id=ts.task.task_id,
+                        deadline=ts.task.deadline,
+                        num_flows=len(ts.task.flows),
+                        total_bytes=ts.task.total_size,
+                    ))
                 sched.on_task_arrival(ts, now)
                 unsettled_tasks.add(ts.task.task_id)
                 for fs in ts.flow_states:
@@ -209,6 +245,10 @@ class Engine:
                 ):
                     fs.deadline_notified = True
                     self.counters.deadline_events += 1
+                    if trace is not None:
+                        trace.emit(DeadlineExpired(
+                            now, flow_id=fs.flow.flow_id, task_id=fs.flow.task_id
+                        ))
                     sched.on_deadline_expired(fs, now)
                     if fs.status is not FlowStatus.PENDING:
                         dirty = True
@@ -221,6 +261,10 @@ class Engine:
                 current_down = self.faults.down_links(now)
                 if current_down != down_links:
                     down_links = current_down
+                    if trace is not None:
+                        trace.emit(LinkStateChange(
+                            now, down_links=tuple(sorted(down_links))
+                        ))
                     on_change = getattr(sched, "on_link_state_change", None)
                     if on_change is not None:
                         on_change(frozenset(down_links), now)
@@ -238,6 +282,8 @@ class Engine:
                         ):
                             fs.rate = 0.0
                 dirty = False
+                if trace is not None:
+                    self._sync_slices(active, now)
 
             # 4. choose the next event time
             t_next = math.inf
@@ -295,6 +341,13 @@ class Engine:
                 elif _done(fs.remaining, fs.flow.size):
                     fs.finish(now)
                     self.counters.completions += 1
+                    if trace is not None:
+                        trace.emit(FlowCompleted(
+                            now,
+                            flow_id=fs.flow.flow_id,
+                            task_id=fs.flow.task_id,
+                            met_deadline=fs.met_deadline,
+                        ))
                     sched.on_flow_completed(fs, now)
                     for hook in self.hooks:
                         cb = getattr(hook, "on_flow_settled", None)
@@ -304,6 +357,9 @@ class Engine:
                 else:
                     still_active.append(fs)
             active = still_active
+            if trace is not None:
+                # completed/killed flows stop transmitting at this instant
+                self._sync_slices(active, now)
 
             # mark a scheduler change point as needing a rate refresh
             if t_sched is not None and abs(now - t_sched) <= EPS:
@@ -311,6 +367,9 @@ class Engine:
 
             self._settle_tasks(unsettled_tasks, now)
 
+        if trace is not None:
+            self._flush_slices(now)
+            trace.emit(RunEnd(now))
         result = SimulationResult(
             scheduler_name=getattr(sched, "name", type(sched).__name__),
             topology_name=self.topology.name,
@@ -322,6 +381,38 @@ class Engine:
         return result
 
     # -- helpers -----------------------------------------------------------
+
+    def _sync_slices(self, active: list[FlowState], now: float) -> None:
+        """Diff the physically-transmitting set against the last picture and
+        emit slice events (ends before starts; a path change is both).
+
+        Called after every rate recompute (post down-link zeroing — the
+        trace records what the network actually carried) and after
+        completions, so a flow's slice closes at the instant it stopped.
+        """
+        current: dict[int, tuple[tuple[int, ...], int]] = {}
+        for fs in active:
+            if fs.rate > 0 and fs.path is not None:
+                current[fs.flow.flow_id] = (tuple(fs.path), fs.flow.task_id)
+        prev = self._transmitting
+        if current == prev:
+            return
+        trace = self.trace
+        ended = [f for f, v in prev.items() if current.get(f) != v]
+        started = [f for f, v in current.items() if prev.get(f) != v]
+        for fid in sorted(ended):
+            trace.emit(SliceEnd(now, flow_id=fid, task_id=prev[fid][1]))
+        for fid in sorted(started):
+            path, tid = current[fid]
+            trace.emit(SliceStart(now, flow_id=fid, task_id=tid, path=path))
+        self._transmitting = current
+
+    def _flush_slices(self, now: float) -> None:
+        """Close every still-open slice at the end of the run."""
+        prev = self._transmitting
+        for fid in sorted(prev):
+            self.trace.emit(SliceEnd(now, flow_id=fid, task_id=prev[fid][1]))
+        self._transmitting = {}
 
     def _settle_tasks(self, unsettled: set[int], now: float) -> None:
         """Finalize tasks whose flows have all reached a terminal status."""

@@ -18,6 +18,8 @@ This module adds scheduled link outages to the fluid simulator:
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.util.errors import ConfigurationError
@@ -52,12 +54,15 @@ class LinkFault:
 class FaultSchedule:
     """The set of outages of a run, queryable by time."""
 
-    def __init__(self, faults: list[LinkFault] = ()) -> None:
+    def __init__(self, faults: Sequence[LinkFault] = ()) -> None:
         self.faults = sorted(faults, key=lambda f: (f.start, f.link_index))
         self._boundaries = sorted(
             {f.start for f in self.faults}
             | {f.end for f in self.faults if f.end != float("inf")}
         )
+        self._by_link: dict[int, list[LinkFault]] = {}
+        for f in self.faults:
+            self._by_link.setdefault(f.link_index, []).append(f)
 
     def __bool__(self) -> bool:
         return bool(self.faults)
@@ -69,15 +74,30 @@ class FaultSchedule:
         }
 
     def next_boundary(self, t: float) -> float | None:
-        """The next fault start/end strictly after ``t``."""
-        for b in self._boundaries:
-            if b > t + 1e-12:
-                return b
+        """The first fault start/end strictly after ``t``.
+
+        Exact comparison, no tolerance: the engine integrates up to the
+        boundary it was given, so a fuzzy ``> t + eps`` here would *skip*
+        a boundary landing within eps after ``t`` — the outage (or
+        recovery) would be applied one event late, or never.  Bisect over
+        the sorted boundary list keeps this O(log n) per query.
+        """
+        i = bisect_right(self._boundaries, t)
+        if i < len(self._boundaries):
+            return self._boundaries[i]
         return None
 
     def outage_of(self, link_index: int, t: float) -> LinkFault | None:
-        """The fault covering ``link_index`` at ``t``, if any."""
-        for f in self.faults:
-            if f.link_index == link_index and f.start <= t < f.end:
-                return f
-        return None
+        """The fault covering ``link_index`` at ``t``, if any.
+
+        When several scheduled outages of the same link overlap at ``t``,
+        the one extending furthest is returned — the link stays down until
+        the *last* covering window closes, so callers asking "until when?"
+        get the honest answer rather than whichever window happened to
+        sort first.
+        """
+        best: LinkFault | None = None
+        for f in self._by_link.get(link_index, ()):
+            if f.start <= t < f.end and (best is None or f.end > best.end):
+                best = f
+        return best

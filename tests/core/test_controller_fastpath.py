@@ -8,6 +8,8 @@ fixed (stats underflow on unregistered-task expiry, infinite-lateness
 reporting for planless flows).
 """
 
+import json
+
 from repro.core.allocation import path_calculation
 from repro.core.controller import TapsScheduler
 from repro.core.occupancy import OccupancyLedger
@@ -16,31 +18,10 @@ from repro.net.fattree import FatTree
 from repro.net.paths import PathService
 from repro.sim.engine import Engine
 from repro.sim.state import FlowState, FlowStatus, TaskState
+from repro.trace import TraceRecorder, audit_trace
 from repro.workload.flow import Flow, make_task
 from repro.workload.generator import WorkloadConfig, generate_workload
 from repro.workload.traces import dumbbell
-
-
-class _Recording(TapsScheduler):
-    """Capture every commit/reject with float-exact plan snapshots."""
-
-    def __init__(self, *a, **kw):
-        super().__init__(*a, **kw)
-        self.trace = []
-
-    def _commit(self, task_state, trial_plans, trial_ledger, victims):
-        self.trace.append((
-            "accept", task_state.task.task_id, tuple(sorted(victims)),
-            tuple(sorted(
-                (fid, p.path, tuple(p.slices._b), p.completion)
-                for fid, p in trial_plans.items()
-            )),
-        ))
-        super()._commit(task_state, trial_plans, trial_ledger, victims)
-
-    def _reject(self, task_state, reason="would-miss", lateness=(), now=0.0):
-        self.trace.append(("reject", task_state.task.task_id, reason))
-        super()._reject(task_state, reason=reason, lateness=lateness, now=now)
 
 
 def _contended_workload():
@@ -55,14 +36,23 @@ def _contended_workload():
 
 class TestModeEquivalence:
     def test_fast_and_reference_schedule_identically(self):
+        """Both modes must produce byte-identical decision traces (events
+        record float-exact plan snapshots, so this is the strongest form of
+        equivalence), identical end states, and a clean audit."""
         topo, tasks = _contended_workload()
         runs = {}
+        dumps = {}
         for fast in (True, False):
-            sched = _Recording(fast_path=fast)
+            recorder = TraceRecorder()
+            sched = TapsScheduler(fast_path=fast)
             result = Engine(topo, tasks, sched,
-                            path_service=PathService(topo, max_paths=4)).run()
+                            path_service=PathService(topo, max_paths=4),
+                            trace=recorder).run()
+            assert sched.trace is recorder  # engine handed its recorder over
+            report = audit_trace(recorder)
+            assert report.ok, report.summary()
+            dumps[fast] = recorder.dumps()
             runs[fast] = (
-                sched.trace,
                 [(fs.flow.flow_id, fs.remaining, fs.met_deadline)
                  for fs in result.flow_states],
                 [(ts.task.task_id, ts.outcome) for ts in result.task_states],
@@ -70,9 +60,10 @@ class TestModeEquivalence:
                  sched.stats.tasks_preempted, sched.stats.flows_planned),
             )
         assert runs[True] == runs[False]
+        assert dumps[True] == dumps[False]
         # sanity: the workload actually exercised both decision kinds
-        kinds = {entry[0] for entry in runs[True][0]}
-        assert kinds == {"accept", "reject"}
+        kinds = {json.loads(line)["kind"] for line in dumps[True].splitlines()}
+        assert {"task-accept", "task-reject"} <= kinds
 
     def test_pruned_path_calculation_matches_reference(self):
         """prune=True picks the same path, slices, and completion as the

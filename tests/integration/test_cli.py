@@ -66,3 +66,49 @@ def test_figure_csv_flag(tmp_path, capsys):
     # fig14 is a time-series figure: csv politely skipped
     assert "csv skipped" in capsys.readouterr().out
     assert not out.exists()
+
+
+def test_run_then_audit_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main(["run", "--tasks", "8", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "tasks arrived:       8" in out
+    assert trace.exists()
+    assert main(["audit", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "audit OK: 0 violations" in out
+    assert "scheduler: TAPS" in out
+
+
+def test_run_with_fault_audits_clean(tmp_path, capsys):
+    trace = tmp_path / "faulted.jsonl"
+    assert main(["run", "--tasks", "8", "--fault", "0", "0.005", "0.02",
+                 "--trace", str(trace)]) == 0
+    assert main(["audit", str(trace)]) == 0
+    assert "link state changes" in capsys.readouterr().out
+
+
+def test_audit_fails_on_corrupted_trace(tmp_path, capsys):
+    """Flip one committed plan so its slices overlap another flow's: the
+    CLI must exit non-zero and name the violated invariant."""
+    import json
+
+    trace = tmp_path / "run.jsonl"
+    assert main(["run", "--tasks", "8", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    lines = trace.read_text().splitlines()
+    for i, line in enumerate(lines):
+        d = json.loads(line)
+        if d.get("kind") == "task-accept" and len(d["plans"]) >= 1:
+            clone = dict(d["plans"][0])
+            clone["flow"] = 99999  # same path+slices, different flow
+            d["plans"] = d["plans"] + [clone]
+            lines[i] = json.dumps(d, separators=(",", ":"))
+            break
+    else:
+        raise AssertionError("no task-accept event in the trace")
+    trace.write_text("\n".join(lines) + "\n")
+    assert main(["audit", str(trace)]) == 1
+    out = capsys.readouterr().out
+    assert "audit FAILED" in out
+    assert "exclusive-link" in out

@@ -1,0 +1,55 @@
+"""Trace digest: headline counts from an event stream."""
+
+from repro.metrics import TraceDigest, trace_digest
+from repro.trace import (
+    FlowCompleted,
+    TaskAccept,
+    TaskArrival,
+    TaskReject,
+    TrialBegin,
+)
+
+
+def _stream():
+    return [
+        TaskArrival(0.0, task_id=1, deadline=1.0, num_flows=1,
+                    total_bytes=10.0),
+        TrialBegin(0.0, task_id=1, attempt=1, flows=()),
+        TaskAccept(0.0, task_id=1, victims=(), plans=()),
+        TaskArrival(0.1, task_id=2, deadline=0.2, num_flows=1,
+                    total_bytes=10.0),
+        TrialBegin(0.1, task_id=2, attempt=1, flows=()),
+        TaskReject(0.1, task_id=2, reason="would-miss", clause=2,
+                   missing=((5, 2),), lateness=((5, 0.1),)),
+        TaskReject(0.2, task_id=3, reason="deadline-expired", clause=None,
+                   missing=(), lateness=()),
+        FlowCompleted(0.5, flow_id=4, task_id=1, met_deadline=True),
+        FlowCompleted(0.6, flow_id=6, task_id=1, met_deadline=False),
+    ]
+
+
+def test_digest_counts():
+    d = trace_digest(_stream())
+    assert d.events == 9
+    assert d.tasks_arrived == 2
+    assert d.tasks_accepted == 1
+    assert d.tasks_rejected == 2
+    assert d.trial_attempts == 2
+    assert d.flows_completed == 2
+    assert d.flows_met == 1
+    assert d.rejects_by_clause == {"2": 1, "deadline-expired": 1}
+
+
+def test_digest_lines_render():
+    lines = trace_digest(_stream()).lines()
+    text = "\n".join(lines)
+    assert "tasks arrived:       2" in text
+    assert "clause 2: 1" in text
+    assert "deadline-expired: 1" in text
+    assert "2 (1 met deadlines)" in text
+
+
+def test_empty_digest():
+    d = trace_digest([])
+    assert d == TraceDigest()
+    assert d.lines()  # renders without dividing by anything

@@ -46,6 +46,59 @@ class TestFaultSchedule:
         assert fs.outage_of(0, 2.5) is None
         assert fs.outage_of(9, 1.5) is None
 
+    def test_next_boundary_within_old_tolerance(self):
+        """A boundary landing within 1e-12 after t must still be returned:
+        the old `b > t + 1e-12` comparison skipped it, so the engine never
+        woke up for the transition and applied the outage late (or never)."""
+        t = 1.0
+        b = t + 1e-13
+        fs = FaultSchedule([LinkFault(0, b, 2.0)])
+        assert fs.next_boundary(t) == b
+        # strictness is preserved: the boundary itself is not "after" itself
+        assert fs.next_boundary(b) == 2.0
+        assert fs.next_boundary(2.0) is None
+
+    def test_next_boundary_distinguishes_boundaries_1e13_apart(self):
+        """Two distinct boundaries 1e-13 apart are visited one at a time,
+        in order — neither is merged into or shadowed by the other."""
+        b0, b1 = 1.0, 1.0 + 1e-13
+        assert b0 != b1  # representable as distinct floats
+        fs = FaultSchedule([LinkFault(0, b0, 5.0), LinkFault(1, b1, 6.0)])
+        assert fs.next_boundary(0.0) == b0
+        assert fs.next_boundary(b0) == b1
+        assert fs.next_boundary(b1) == 5.0
+        assert fs.next_boundary(5.0) == 6.0
+        assert fs.next_boundary(6.0) is None
+
+    def test_accepts_any_sequence(self):
+        """The annotated-as-list-defaulted-to-tuple signature now honestly
+        takes any sequence (and the empty default stays safe to share)."""
+        fault = LinkFault(2, 1.0, 2.0)
+        for source in ([fault], (fault,), FaultSchedule([fault]).faults):
+            fs = FaultSchedule(source)
+            assert fs.down_links(1.5) == {2}
+        assert not FaultSchedule()
+        assert FaultSchedule().next_boundary(0.0) is None
+
+    def test_outage_of_overlapping_windows_returns_longest_cover(self):
+        """Two overlapping outages of the same link: during the overlap the
+        link stays down until the *later* end, so outage_of must return the
+        window extending furthest, not whichever sorted first."""
+        early = LinkFault(0, 1.0, 3.0)
+        late = LinkFault(0, 2.0, 6.0)
+        fs = FaultSchedule([early, late])
+        assert fs.outage_of(0, 1.5) == early  # only cover
+        assert fs.outage_of(0, 2.5) == late   # overlap: maximal end wins
+        assert fs.outage_of(0, 4.0) == late
+        assert fs.outage_of(0, 6.0) is None
+        # symmetric construction order must not change the answer
+        fs2 = FaultSchedule([late, early])
+        assert fs2.outage_of(0, 2.5) == late
+        # a permanent fault dominates any finite overlap
+        perm = LinkFault(0, 2.5, float("inf"))
+        fs3 = FaultSchedule([early, late, perm])
+        assert fs3.outage_of(0, 2.7) == perm
+
 
 class TestEngineEnforcement:
     def test_oblivious_scheduler_stalls_through_outage(self):
