@@ -4,13 +4,22 @@ Subcommands::
 
     repro-taps motivation            # replay paper Figs. 1–3
     repro-taps figure fig6           # regenerate a figure's series
-    repro-taps figure fig6 --scale medium
+    repro-taps figure fig6 --scale medium --jobs 4
     repro-taps all --scale small     # every figure, printed as tables
+    repro-taps report --jobs 0 --csv-dir out/   # full repro, all cores
     repro-taps nphard                # demo the §IV-B reduction
     repro-taps zoo                   # TAPS on tree/fat-tree/BCube/FiConn
     repro-taps optimality            # online TAPS vs the offline bound
     repro-taps run --trace out.jsonl # one traced TAPS run (fat-tree)
     repro-taps audit out.jsonl       # replay a trace against invariants
+
+``figure``, ``all``, ``zoo``, and ``report`` accept ``--jobs N`` (fan
+independent sweep points over N worker processes; 0 = one per CPU),
+``--cache-dir DIR`` / ``--no-cache`` (content-addressed on-disk result
+cache, default ``~/.cache/repro-taps``), and — for ``all``/``report`` —
+``--csv-dir DIR`` to dump each figure's raw per-seed series.  Results
+are bit-identical across job counts and cache states; the run footer
+reports cache hits/misses/invalidations.
 
 Figures print the same rows/series the paper reports; absolute values
 differ (simulated substrate, scaled topology) but orderings and trends
@@ -24,9 +33,38 @@ import sys
 import time
 
 from repro.exp.configs import SCALES
+from repro.exp.executor import ExecutorConfig, make_executor
 from repro.exp.figures import FIGURES, run_figure
 from repro.exp.motivation import run_all
 from repro.exp.report import render_sweep, render_timeseries
+
+
+def _executor_from_args(args) -> ExecutorConfig:
+    """``--jobs/--cache-dir/--no-cache`` → an ExecutorConfig."""
+    return make_executor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _add_executor_args(parser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan sweep points out over N worker processes "
+             "(default: serial; 0 = one per CPU)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: ~/.cache/repro-taps)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point; skip the on-disk result cache")
+
+
+def _print_cache_footer(executor: ExecutorConfig) -> None:
+    """One greppable stats line per run — CI asserts on it."""
+    if executor.cache is not None:
+        print(f"{executor.cache.stats.line()} ({executor.cache.root})")
 
 
 def _cmd_motivation(_args) -> int:
@@ -46,10 +84,11 @@ def _cmd_motivation(_args) -> int:
     return 0
 
 
-def _print_figure(figure_id: str, scale_name: str):
+def _print_figure(figure_id: str, scale_name: str,
+                  executor: ExecutorConfig | None = None):
     scale = SCALES[scale_name]
     t0 = time.time()
-    run = run_figure(figure_id, scale)
+    run = run_figure(figure_id, scale, executor)
     took = time.time() - t0
     print(f"== {run.figure_id}: {run.title} (scale={scale_name}, {took:.1f}s) ==")
     if run.notes:
@@ -65,19 +104,29 @@ def _print_figure(figure_id: str, scale_name: str):
 
 
 def _cmd_figure(args) -> int:
-    run = _print_figure(args.figure, args.scale)
+    executor = _executor_from_args(args)
+    run = _print_figure(args.figure, args.scale, executor)
     if args.csv is not None:
         if run.sweep is None:
             print(f"(no sweep data for {args.figure}; csv skipped)")
         else:
             run.sweep.to_csv(args.csv)
             print(f"wrote {args.csv}")
+    _print_cache_footer(executor)
     return 0
 
 
 def _cmd_all(args) -> int:
+    from repro.exp.runner import export_figure_csv
+
+    executor = _executor_from_args(args)
     for fid in sorted(FIGURES):
-        _print_figure(fid, args.scale)
+        run = _print_figure(fid, args.scale, executor)
+        if args.csv_dir is not None:
+            out = export_figure_csv(run, args.csv_dir)
+            if out is not None:
+                print(f"wrote {out}")
+    _print_cache_footer(executor)
     return 0
 
 
@@ -107,39 +156,46 @@ def _cmd_nphard(_args) -> int:
 
 
 def _cmd_zoo(args) -> int:
-    from repro.core.controller import TapsScheduler
-    from repro.metrics.summary import summarize
-    from repro.net.bcube import BCube
-    from repro.net.fattree import FatTree
-    from repro.net.ficonn import FiConn
-    from repro.net.paths import PathService
-    from repro.net.trees import SingleRootedTree
-    from repro.sim.engine import Engine
     from repro.exp.configs import SCALES
-    from repro.workload.generator import generate_workload
+    from repro.exp.executor import (
+        SimJob,
+        build_topology,
+        execute_jobs,
+        topology_spec,
+    )
 
     scale = SCALES[args.scale]
+    executor = _executor_from_args(args)
     topologies = {
-        "single-rooted": SingleRootedTree(2, 2, 4),
-        "fat-tree k=4": FatTree(4),
-        "bcube n=4 k=1": BCube(4, 1),
-        "ficonn n=4 k=1": FiConn(4, 1),
+        "single-rooted": topology_spec(
+            "single_rooted", servers_per_rack=2, racks_per_pod=2, pods=4
+        ),
+        "fat-tree k=4": topology_spec("fat_tree", k=4),
+        "bcube n=4 k=1": topology_spec("bcube", n=4, k=1),
+        "ficonn n=4 k=1": topology_spec("ficonn", n=4, k=1),
     }
+    jobs, host_counts = [], []
+    for spec in topologies.values():
+        # host count sizes the workload; the build is memoized so serial
+        # runs (and forked workers) reuse it
+        n_hosts = len(build_topology(spec, scale.max_paths).hosts)
+        host_counts.append(n_hosts)
+        jobs.append(SimJob(
+            topology=spec,
+            workload=scale.workload_config(
+                num_tasks=2 * n_hosts, mean_flows_per_task=4, seed=41
+            ),
+            scheduler="TAPS",
+            max_paths=scale.max_paths,
+        ))
+    metrics = execute_jobs(jobs, executor)
     print("TAPS across the paper's cited architectures (§II):")
     print(f"{'topology':16s} {'hosts':>5s} {'task ratio':>10s} "
           f"{'flow ratio':>10s} {'waste':>6s}")
-    for label, topo in topologies.items():
-        hosts = list(topo.hosts)
-        cfg = scale.workload_config(
-            num_tasks=2 * len(hosts), mean_flows_per_task=4, seed=41
-        )
-        tasks = generate_workload(cfg, hosts)
-        paths = PathService(topo, max_paths=scale.max_paths)
-        m = summarize(
-            Engine(topo, tasks, TapsScheduler(), path_service=paths).run()
-        )
-        print(f"{label:16s} {len(hosts):>5d} {m.task_completion_ratio:>10.3f} "
+    for label, n_hosts, m in zip(topologies, host_counts, metrics):
+        print(f"{label:16s} {n_hosts:>5d} {m.task_completion_ratio:>10.3f} "
               f"{m.flow_completion_ratio:>10.3f} {m.wasted_bandwidth_ratio:>6.3f}")
+    _print_cache_footer(executor)
     return 0
 
 
@@ -229,8 +285,15 @@ def _cmd_audit(args) -> int:
 def _cmd_report(args) -> int:
     from repro.exp.runner import generate_report
 
-    out = generate_report(args.out, SCALES[args.scale], args.figures)
+    executor = _executor_from_args(args)
+    out = generate_report(
+        args.out, SCALES[args.scale], args.figures,
+        executor=executor, csv_dir=args.csv_dir,
+    )
     print(f"wrote {out}")
+    if args.csv_dir is not None:
+        print(f"csv series -> {args.csv_dir}")
+    _print_cache_footer(executor)
     return 0
 
 
@@ -250,10 +313,15 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.add_argument("--scale", choices=sorted(SCALES), default="small")
     p_fig.add_argument("--csv", default=None, metavar="FILE",
                        help="also dump the raw per-seed series as CSV")
+    _add_executor_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_all = sub.add_parser("all", help="regenerate every figure")
     p_all.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p_all.add_argument("--csv-dir", default=None, metavar="DIR",
+                       help="also dump each figure's raw per-seed series "
+                            "as DIR/<fig>.csv")
+    _add_executor_args(p_all)
     p_all.set_defaults(func=_cmd_all)
 
     sub.add_parser("nphard", help="demo the §IV-B reduction").set_defaults(
@@ -262,6 +330,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_zoo = sub.add_parser("zoo", help="TAPS on the §II architectures")
     p_zoo.add_argument("--scale", choices=sorted(SCALES), default="small")
+    _add_executor_args(p_zoo)
     p_zoo.set_defaults(func=_cmd_zoo)
 
     p_opt = sub.add_parser("optimality",
@@ -298,6 +367,10 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--scale", choices=sorted(SCALES), default="small")
     p_rep.add_argument("--figures", nargs="*", choices=sorted(FIGURES),
                        default=None)
+    p_rep.add_argument("--csv-dir", default=None, metavar="DIR",
+                       help="also dump each figure's raw per-seed series "
+                            "as DIR/<fig>.csv")
+    _add_executor_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

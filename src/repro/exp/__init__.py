@@ -2,14 +2,26 @@
 
 * :mod:`~repro.exp.configs` — scales (CI-sized vs paper-sized) and
   per-figure parameterisation;
-* :mod:`~repro.exp.sweep` — the scheduler × parameter grid runner;
+* :mod:`~repro.exp.executor` — parallel sim-job fan-out + the
+  content-addressed result cache;
+* :mod:`~repro.exp.sweep` — the scheduler × parameter grid runner
+  (callable-based serial and declarative :class:`SweepGrid` forms);
 * :mod:`~repro.exp.figures` — ``run_figure("fig6")`` … ``("fig14")``;
 * :mod:`~repro.exp.motivation` — the worked examples of Figs. 1–3;
 * :mod:`~repro.exp.report` — ASCII tables of measured series.
 """
 
 from repro.exp.configs import Scale, SMALL, MEDIUM, PAPER
-from repro.exp.sweep import SweepResult, run_sweep
+from repro.exp.executor import (
+    ExecutorConfig,
+    ResultCache,
+    SimJob,
+    TopologySpec,
+    execute_jobs,
+    make_executor,
+    topology_spec,
+)
+from repro.exp.sweep import SweepGrid, SweepResult, run_sweep, run_sweep_grid
 from repro.exp.figures import FIGURES, run_figure
 from repro.exp.report import render_sweep
 
@@ -18,8 +30,17 @@ __all__ = [
     "SMALL",
     "MEDIUM",
     "PAPER",
+    "ExecutorConfig",
+    "ResultCache",
+    "SimJob",
+    "TopologySpec",
+    "execute_jobs",
+    "make_executor",
+    "topology_spec",
+    "SweepGrid",
     "SweepResult",
     "run_sweep",
+    "run_sweep_grid",
     "FIGURES",
     "run_figure",
     "render_sweep",

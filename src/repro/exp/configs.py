@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.exp.executor import TopologySpec, topology_spec
 from repro.net.fattree import FatTree
 from repro.net.trees import SingleRootedTree
 from repro.net.topology import Topology
@@ -57,6 +58,19 @@ class Scale:
 
     def fat_tree(self) -> Topology:
         return FatTree(k=self.fat_tree_k)
+
+    def single_rooted_spec(self) -> TopologySpec:
+        """:meth:`single_rooted` as a picklable executor spec."""
+        return topology_spec(
+            "single_rooted",
+            servers_per_rack=self.servers_per_rack,
+            racks_per_pod=self.racks_per_pod,
+            pods=self.pods,
+        )
+
+    def fat_tree_spec(self) -> TopologySpec:
+        """:meth:`fat_tree` as a picklable executor spec."""
+        return topology_spec("fat_tree", k=self.fat_tree_k)
 
     def workload_config(self, **overrides) -> WorkloadConfig:
         base = WorkloadConfig(

@@ -18,6 +18,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.exp.configs import Scale, SMALL
+from repro.exp.executor import ExecutorConfig
 from repro.exp.figures import FIGURES, FigureRun, run_figure
 from repro.exp.motivation import run_all as run_motivation
 from repro.exp.report import render_sweep, render_sweep_with_ci, render_timeseries
@@ -67,12 +68,35 @@ def motivation_markdown() -> str:
     return "\n".join(lines)
 
 
+def export_figure_csv(run: FigureRun, csv_dir: str | Path) -> Path | None:
+    """Dump a figure's raw per-seed long-format series to ``csv_dir``.
+
+    Returns the written path, or ``None`` for time-series figures (no
+    sweep data).  ``repro-taps all/report --csv-dir`` call this per
+    figure, matching what ``figure --csv`` writes.
+    """
+    if run.sweep is None:
+        return None
+    out_dir = Path(csv_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / f"{run.figure_id}.csv"
+    run.sweep.to_csv(out)
+    return out
+
+
 def generate_report(
     out_path: str | Path,
     scale: Scale = SMALL,
     figures: Sequence[str] | None = None,
+    executor: ExecutorConfig | None = None,
+    csv_dir: str | Path | None = None,
 ) -> Path:
-    """Regenerate figures and write the markdown report; returns the path."""
+    """Regenerate figures and write the markdown report; returns the path.
+
+    ``executor`` fans the sweeps out over a process pool and/or the
+    result cache; ``csv_dir`` additionally dumps each sweep figure's raw
+    per-seed series as ``<csv_dir>/<fig>.csv``.
+    """
     selected = sorted(FIGURES) if figures is None else list(figures)
     sections = [
         "# TAPS reproduction — regenerated results",
@@ -87,8 +111,10 @@ def generate_report(
     ]
     for fid in selected:
         t0 = time.time()
-        run = run_figure(fid, scale)
+        run = run_figure(fid, scale, executor)
         sections.append(figure_markdown(run, scale, time.time() - t0))
+        if csv_dir is not None:
+            export_figure_csv(run, csv_dir)
     out = Path(out_path)
     out.write_text("\n".join(sections))
     return out

@@ -4,21 +4,36 @@ One sweep reproduces one paper figure's x-axis.  For each (value, seed)
 the workload is generated once and replayed under every scheduler, so
 algorithms are compared on identical traffic (as in the paper); seeds are
 averaged.
+
+Two entry points produce identical results:
+
+* :func:`run_sweep` — the historical callable-based serial runner (kept
+  for ad-hoc grids and as the equivalence reference in tests);
+* :class:`SweepGrid` + :func:`run_sweep_grid` — the declarative form the
+  figures use: the grid decomposes into picklable
+  :class:`~repro.exp.executor.SimJob` specs, so it can fan out over a
+  process pool and hit the on-disk result cache
+  (:mod:`repro.exp.executor`) while aggregating bit-identically to the
+  serial path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exp.executor import ExecutorConfig, SimJob, TopologySpec, execute_jobs
 from repro.metrics.summary import RunMetrics, summarize
 from repro.net.paths import PathService
 from repro.net.topology import Topology
 from repro.sched.registry import PAPER_ORDER, make_scheduler
 from repro.sim.engine import Engine
+from repro.util.errors import ConfigurationError
 from repro.workload.flow import Task
+from repro.workload.generator import WorkloadConfig
 
 
 @dataclass(slots=True)
@@ -115,6 +130,97 @@ def run_sweep(
                 for m in _METRICS:
                     acc[sched_name][m][vi].append(getattr(metrics, m))
     for sched_name in schedulers:
+        result.series[sched_name] = {
+            m: [float(np.mean(vals)) for vals in acc[sched_name][m]]
+            for m in _METRICS
+        }
+    return result
+
+
+_INT_WORKLOAD_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(WorkloadConfig) if f.type in ("int", int)
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepGrid:
+    """A figure's sweep as data: topology spec × workload knob × grid.
+
+    ``param_name`` is the :class:`WorkloadConfig` field the sweep varies
+    (int-typed fields like ``num_tasks`` are coerced from the float axis
+    value).  Everything here is picklable, so the grid decomposes into
+    self-contained :class:`~repro.exp.executor.SimJob` specs.
+    """
+
+    topology: TopologySpec
+    base_workload: WorkloadConfig
+    param_name: str
+    param_values: tuple[float, ...]
+    schedulers: tuple[str, ...] = PAPER_ORDER
+    seeds: tuple[int, ...] = (1,)
+    max_paths: int | None = 8
+
+    def __post_init__(self) -> None:
+        if self.param_name not in {
+            f.name for f in dataclasses.fields(WorkloadConfig)
+        }:
+            raise ConfigurationError(
+                f"param_name {self.param_name!r} is not a WorkloadConfig field"
+            )
+
+    def workload_at(self, value: float, seed: int) -> WorkloadConfig:
+        coerced = (
+            int(value) if self.param_name in _INT_WORKLOAD_FIELDS else float(value)
+        )
+        return self.base_workload.with_(
+            **{self.param_name: coerced}, seed=int(seed)
+        )
+
+    def jobs(self) -> list[SimJob]:
+        """The grid flattened in the serial sweep's nested loop order
+        (value-major, then seed, then scheduler)."""
+        return [
+            SimJob(
+                topology=self.topology,
+                workload=self.workload_at(float(value), int(seed)),
+                scheduler=sched,
+                max_paths=self.max_paths,
+            )
+            for value in self.param_values
+            for seed in self.seeds
+            for sched in self.schedulers
+        ]
+
+
+def run_sweep_grid(
+    grid: SweepGrid,
+    executor: ExecutorConfig | None = None,
+) -> SweepResult:
+    """Run a declarative grid through the experiment executor.
+
+    Aggregation is positional over the grid's flattening, so the result —
+    ``series``, ``raw``, and CSV bytes — is identical whether jobs ran
+    serially, across a pool in any completion order, or out of the cache.
+    """
+    metrics_list = execute_jobs(grid.jobs(), executor)
+    result = SweepResult(
+        param_name=grid.param_name,
+        param_values=[float(v) for v in grid.param_values],
+        schedulers=list(grid.schedulers),
+    )
+    acc: dict[str, dict[str, list[list[float]]]] = {
+        s: {m: [[] for _ in grid.param_values] for m in _METRICS}
+        for s in grid.schedulers
+    }
+    it = iter(metrics_list)
+    for vi, value in enumerate(grid.param_values):
+        for seed in grid.seeds:
+            for sched_name in grid.schedulers:
+                metrics = next(it)
+                result.raw[(sched_name, float(value), int(seed))] = metrics
+                for m in _METRICS:
+                    acc[sched_name][m][vi].append(getattr(metrics, m))
+    for sched_name in grid.schedulers:
         result.series[sched_name] = {
             m: [float(np.mean(vals)) for vals in acc[sched_name][m]]
             for m in _METRICS

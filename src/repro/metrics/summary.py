@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, asdict
+import json
+
+from dataclasses import dataclass, asdict, fields
 
 from repro.sim.engine import SimulationResult
 from repro.sim.state import FlowStatus, TaskOutcome
+
+RESULT_SCHEMA_VERSION = 1
+"""Version of the :class:`RunMetrics` JSON schema.
+
+Bump whenever a field is added, removed, renamed, or its meaning changes.
+The executor's result cache keys on this (see DESIGN.md): a bump makes
+every cached entry unreachable, so stale metrics can never masquerade as
+fresh ones after the schema moves."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +61,48 @@ class RunMetrics:
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+    def to_json(self) -> str:
+        """Serialize as compact JSON with a stable field order.
+
+        Keys appear in dataclass-definition order behind a leading
+        ``"schema"`` marker, so equal metrics always produce identical
+        bytes (the cache and the benchmarks compare serialized forms).
+        Floats round-trip exactly (``json`` uses shortest-repr).
+        """
+        payload: dict = {"schema": RESULT_SCHEMA_VERSION}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMetrics":
+        """Inverse of :meth:`to_json`; strict about schema and fields.
+
+        Raises ``ValueError`` on a version mismatch, a missing/unknown
+        field, or a wrongly-typed value — callers (the result cache)
+        treat that as a corrupt entry and recompute.
+        """
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("RunMetrics JSON must be an object")
+        if data.pop("schema", None) != RESULT_SCHEMA_VERSION:
+            raise ValueError("RunMetrics schema version mismatch")
+        names = [f.name for f in fields(cls)]
+        if set(data) != set(names):
+            unexpected = set(data) ^ set(names)
+            raise ValueError(f"RunMetrics field mismatch: {sorted(unexpected)}")
+        for f in fields(cls):
+            v = data[f.name]
+            if f.type == "int" and not isinstance(v, int):
+                raise ValueError(f"{f.name} must be int, got {type(v).__name__}")
+            if f.type == "float":
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    raise ValueError(f"{f.name} must be a number")
+                data[f.name] = float(v)
+            if f.type == "str" and not isinstance(v, str):
+                raise ValueError(f"{f.name} must be str")
+        return cls(**data)
 
 
 def summarize(result: SimulationResult) -> RunMetrics:

@@ -11,6 +11,13 @@ from repro.workload.generator import WorkloadConfig, generate_workload
 from repro.workload.traces import dumbbell
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the experiment executor's default result cache out of the real
+    ``~/.cache`` during tests (CLI commands cache by default)."""
+    monkeypatch.setenv("REPRO_TAPS_CACHE", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def tiny_tree():
     """2×2×2 single-rooted tree (8 hosts) — unique paths."""

@@ -73,6 +73,48 @@ def test_as_dict_roundtrip():
     assert d["num_flows"] == 4
 
 
+def test_json_roundtrip_lossless():
+    """to_json/from_json is the cache's wire format: exact equality, and
+    the round-trip agrees with as_dict field for field."""
+    from repro.metrics.summary import RunMetrics
+
+    topo, tasks = fig1_trace()
+    m = summarize(Engine(topo, tasks, FairSharing()).run())
+    back = RunMetrics.from_json(m.to_json())
+    assert back == m
+    assert back.as_dict() == m.as_dict()
+    # serialization is deterministic (stable field order → stable bytes)
+    assert back.to_json() == m.to_json()
+
+
+def test_json_schema_and_field_guards():
+    import json
+
+    from repro.metrics.summary import RESULT_SCHEMA_VERSION, RunMetrics
+
+    topo, tasks = fig1_trace()
+    m = summarize(Engine(topo, tasks, FairSharing()).run())
+    blob = json.loads(m.to_json())
+    assert blob["schema"] == RESULT_SCHEMA_VERSION
+    # field order in the serialized form is dataclass-definition order
+    assert list(blob)[1:3] == ["scheduler", "topology"]
+
+    wrong_version = dict(blob, schema=RESULT_SCHEMA_VERSION + 1)
+    with pytest.raises(ValueError):
+        RunMetrics.from_json(json.dumps(wrong_version))
+    missing = {k: v for k, v in blob.items() if k != "num_flows"}
+    with pytest.raises(ValueError):
+        RunMetrics.from_json(json.dumps(missing))
+    extra = dict(blob, bogus=1)
+    with pytest.raises(ValueError):
+        RunMetrics.from_json(json.dumps(extra))
+    mistyped = dict(blob, num_flows="four")
+    with pytest.raises(ValueError):
+        RunMetrics.from_json(json.dumps(mistyped))
+    with pytest.raises(ValueError):
+        RunMetrics.from_json("[1,2,3]")
+
+
 def test_task_size_completion_ratio_stricter_than_throughput():
     """A flow meeting its deadline inside a failed task counts for
     application throughput but not for task-size completion."""

@@ -44,6 +44,29 @@ def test_rejected_tasks_do_not_produce_completions():
     assert result.counters.arrivals == 1
 
 
+def test_deadline_scan_skipped_before_watermark():
+    """With far deadlines most events never pay the per-flow expiry scan,
+    and no expiry is ever missed."""
+    topo = dumbbell(3)
+    # many staggered arrivals, deadlines far beyond every completion
+    tasks = [make_task(i, 0.1 * i, 100.0 + i, [(f"L{i % 3}", f"R{i % 3}", 1.0)], i)
+             for i in range(9)]
+    result = Engine(topo, tasks, FairSharing()).run()
+    assert result.counters.deadline_scan_skips > 0
+    assert result.counters.deadline_events == 0
+    assert result.counters.completions == 9
+
+
+def test_watermark_still_fires_every_expiry():
+    """The skip optimisation must not eat deadline notifications: two
+    flows that cannot finish still expire exactly once each."""
+    topo = dumbbell(2)
+    tasks = [make_task(i, 0.0, 1.0, [(f"L{i}", f"R{i}", 50.0)], i)
+             for i in range(2)]
+    result = Engine(topo, tasks, FairSharing()).run()
+    assert result.counters.deadline_events == 2
+
+
 def test_quiet_engine_is_cheap():
     """An idle stretch between two tasks costs O(1) events, not polling."""
     topo = dumbbell(1)
