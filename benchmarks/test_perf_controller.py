@@ -13,6 +13,12 @@ complement + fit, deep-copied trial ledgers) — and asserts:
 2. **Speedup**: at full scale, controller time (admission + reallocation,
    measured around the scheduler callbacks) improves by >= 2x.
 
+A third fast-path run with a :class:`~repro.obs.registry.MetricsRegistry`
+attached must also trace byte-identically — telemetry is observational
+only — and its controller-time overhead versus the untelemetered run is
+recorded in the JSON (not gated; timing ratios are too noisy on shared
+runners).
+
 The measured record is written to ``benchmarks/results/perf_controller*.json``
 (workload, timings, profile counters, speedups) for EXPERIMENTS.md and the
 CI artifact.
@@ -31,6 +37,8 @@ import time
 from repro.core.controller import TapsScheduler
 from repro.net.fattree import FatTree
 from repro.net.paths import PathService
+from repro.obs.export import TELEMETRY_SCHEMA_VERSION
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.trace import TraceRecorder, audit_trace
 from repro.workload.generator import WorkloadConfig, generate_workload
@@ -80,13 +88,13 @@ def _workload(scale: dict):
     return topo, generate_workload(cfg, hosts)
 
 
-def _run(topo, tasks, fast: bool):
+def _run(topo, tasks, fast: bool, telemetry: MetricsRegistry | None = None):
     sched = _TimedScheduler(fast_path=fast)
     paths = PathService(topo, max_paths=MAX_PATHS)
     recorder = TraceRecorder()
     t0 = time.perf_counter()
     result = Engine(topo, tasks, sched, path_service=paths,
-                    trace=recorder).run()
+                    trace=recorder, telemetry=telemetry).run()
     wall = time.perf_counter() - t0
     audit = audit_trace(recorder)
     assert audit.ok, audit.summary()
@@ -121,14 +129,23 @@ def test_perf_controller(results_dir):
 
     fast = _run(topo, tasks, fast=True)
     slow = _run(topo, tasks, fast=False)
+    registry = MetricsRegistry()
+    telemetered = _run(topo, tasks, fast=True, telemetry=registry)
 
     # 1. bit-identical scheduling: the serialized decision traces match
     # byte for byte (same decision sequence, same victims, float-identical
-    # plans), and the end-of-run flow/task outcomes agree
+    # plans), and the end-of-run flow/task outcomes agree.  The
+    # telemetered run proves instrumentation is observational only.
     assert fast["trace_jsonl"] == slow["trace_jsonl"]
+    assert fast["trace_jsonl"] == telemetered["trace_jsonl"]
     assert fast["flows"] == slow["flows"]
     assert fast["tasks"] == slow["tasks"]
     assert fast["stats"] == slow["stats"]
+    assert telemetered["stats"] == fast["stats"]
+    hist = registry.get("controller/admission_latency_seconds")
+    decisions = (telemetered["stats"]["tasks_accepted"]
+                 + telemetered["stats"]["tasks_rejected"])
+    assert hist is not None and hist.count == decisions
 
     speedup_controller = slow["controller_seconds"] / fast["controller_seconds"]
     speedup_wall = slow["wall_seconds"] / fast["wall_seconds"]
@@ -137,8 +154,13 @@ def test_perf_controller(results_dir):
         / fast["profile"]["path_calculation_seconds"]
     )
 
+    telemetry_overhead = (
+        telemetered["controller_seconds"] / fast["controller_seconds"] - 1.0
+    )
+
     record = {
         "scale": scale_name,
+        "telemetry_schema": TELEMETRY_SCHEMA_VERSION,
         "workload": {**scale, "seed": SEED, "hosts_used": HOSTS_USED,
                      "topology": "fattree-k8", "max_paths": MAX_PATHS,
                      "num_flows": sum(len(t.flows) for t in tasks)},
@@ -154,13 +176,22 @@ def test_perf_controller(results_dir):
             "wall": round(speedup_wall, 3),
             "path_calculation": round(speedup_pc, 3),
         },
+        "telemetry": {
+            # enabled-vs-disabled on the identical fast-path workload;
+            # recorded, not gated — shared runners are too noisy
+            "controller_seconds": telemetered["controller_seconds"],
+            "overhead_vs_disabled": round(telemetry_overhead, 4),
+            "admission_p50_seconds": hist.quantile(0.5),
+            "admission_p99_seconds": hist.quantile(0.99),
+        },
     }
     suffix = "" if scale_name == "full" else f"_{scale_name}"
     out = results_dir / f"perf_controller{suffix}.json"
     out.write_text(json.dumps(record, indent=1))
     print(f"\nperf record -> {out}\n"
           f"controller {speedup_controller:.2f}x  wall {speedup_wall:.2f}x  "
-          f"path_calculation {speedup_pc:.2f}x")
+          f"path_calculation {speedup_pc:.2f}x  "
+          f"telemetry overhead {telemetry_overhead:+.1%}")
 
     if scale_name == "full":
         # the acceptance floor: >= 2x on controller time at the frozen

@@ -4,10 +4,11 @@ Runs one multi-value deadline grid (all six paper schedulers × 3 mean
 deadlines × 2 seeds on the SMALL single-rooted tree = 36 independent
 ``Engine.run()`` points) four ways and asserts:
 
-1. **Equivalence** (always, blocking): serial, ``--jobs 4`` pool fan-out,
-   and cache-served results produce byte-identical ``SweepResult`` data —
-   same ``series``, same ``raw`` metrics, same long- and wide-format CSV
-   bytes.
+1. **Equivalence** (always, blocking): serial, ``--jobs 4`` pool fan-out
+   (with telemetry attached — worker snapshots merge back without
+   perturbing results), and cache-served results produce byte-identical
+   ``SweepResult`` data — same ``series``, same ``raw`` metrics, same
+   long- and wide-format CSV bytes.
 2. **Cache**: a second pass over a warm cache performs **zero**
    ``Engine.run()`` calls (hits == grid size, misses == 0) and is >= 2x
    faster than computing serially.
@@ -33,6 +34,8 @@ from pathlib import Path
 from repro.exp.configs import SMALL
 from repro.exp.executor import ExecutorConfig, ResultCache
 from repro.exp.sweep import SweepGrid, run_sweep_grid
+from repro.obs.export import TELEMETRY_SCHEMA_VERSION
+from repro.obs.registry import MetricsRegistry
 from repro.sched.registry import PAPER_ORDER
 from repro.util.units import ms
 
@@ -102,10 +105,17 @@ def test_perf_sweep(results_dir):
         assert warm.stats.hits == n_jobs
         assert warm.stats.misses == 0 and warm.stats.invalidations == 0
 
-        # pool fan-out, no cache: every point recomputed across workers
+        # pool fan-out, no cache: every point recomputed across workers.
+        # Telemetry rides along: worker registries are snapshotted and
+        # merged back, and must not perturb the results.
+        telemetry = MetricsRegistry()
         t_parallel, parallel = _timed(
-            grid, ExecutorConfig(jobs=PARALLEL_JOBS, cache=None)
+            grid, ExecutorConfig(jobs=PARALLEL_JOBS, cache=None,
+                                 telemetry=telemetry)
         )
+        assert telemetry.get("executor/jobs").value == n_jobs
+        assert telemetry.get("executor/jobs_run").value == n_jobs
+        assert telemetry.get("engine/arrivals").value > 0
 
         # 1. bit-identical results across all execution modes
         for other in (parallel, cached):
@@ -121,6 +131,12 @@ def test_perf_sweep(results_dir):
     speedup_cached = t_serial / t_warm
     record = {
         "scale": scale_name,
+        "telemetry_schema": TELEMETRY_SCHEMA_VERSION,
+        "telemetry": {
+            "jobs": n_jobs,
+            "engine_arrivals": telemetry.get("engine/arrivals").value,
+            "tasks_accepted": telemetry.get("controller/tasks_accepted").value,
+        },
         "grid": {
             "topology": "single-rooted-4x3x3",
             **GRIDS[scale_name]["workload"],

@@ -11,6 +11,8 @@ Subcommands::
     repro-taps zoo                   # TAPS on tree/fat-tree/BCube/FiConn
     repro-taps optimality            # online TAPS vs the offline bound
     repro-taps run --trace out.jsonl # one traced TAPS run (fat-tree)
+    repro-taps run --out-dir run1/   # run + telemetry artifacts in run1/
+    repro-taps stats run1/           # inspect a run from its artifacts
     repro-taps audit out.jsonl       # replay a trace against invariants
 
 ``figure``, ``all``, ``zoo``, and ``report`` accept ``--jobs N`` (fan
@@ -231,17 +233,19 @@ def _cmd_optimality(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.exp.runner import run_traced
+    from repro.exp.runner import run_traced, write_run_artifacts
     from repro.metrics import summarize, trace_digest
+    from repro.obs import MetricsRegistry
     from repro.sim.faults import LinkFault
 
     faults = None
     if args.fault is not None:
         link, start, end = args.fault
         faults = [LinkFault(int(link), start, end)]
+    telemetry = MetricsRegistry() if args.out_dir is not None else None
     result, recorder = run_traced(
         scale=SCALES[args.scale], num_tasks=args.tasks, seed=args.seed,
-        fast_path=not args.no_fast_path, faults=faults,
+        fast_path=not args.no_fast_path, faults=faults, telemetry=telemetry,
     )
     m = summarize(result)
     print(f"{result.scheduler_name} on {result.topology_name}: "
@@ -253,6 +257,32 @@ def _cmd_run(args) -> int:
     if args.trace is not None:
         out = recorder.to_jsonl(args.trace)
         print(f"wrote {out} ({recorder.emitted} events)")
+    if args.out_dir is not None:
+        written = write_run_artifacts(args.out_dir, recorder, telemetry)
+        for path in written.values():
+            print(f"wrote {path}")
+        print(f"inspect with: repro-taps stats {args.out_dir}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import TelemetryError, load_jsonl, render_stats
+
+    target = Path(args.run_dir)
+    path = target / "telemetry.jsonl" if target.is_dir() else target
+    if not path.exists():
+        print(f"error: no telemetry snapshot at {path} "
+              "(produce one with: repro-taps run --out-dir DIR)",
+              file=sys.stderr)
+        return 1
+    try:
+        snapshot = load_jsonl(path)
+    except TelemetryError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return 1
+    print(render_stats(snapshot), end="")
     return 0
 
 
@@ -351,7 +381,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="inject one link outage [START, END)")
     p_run.add_argument("--no-fast-path", action="store_true",
                        help="use the reference (uncached) controller")
+    p_run.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="write run artifacts (trace.jsonl, "
+                            "telemetry.jsonl, telemetry.prom) into DIR")
     p_run.set_defaults(func=_cmd_run)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="render a run report from exported telemetry (no re-simulation)")
+    p_stats.add_argument("run_dir", metavar="RUN_DIR",
+                        help="run directory holding telemetry.jsonl "
+                             "(or a path to the file itself)")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_aud = sub.add_parser("audit",
                            help="replay a JSONL trace against the paper's "

@@ -113,6 +113,7 @@ def path_calculation(
     on_unplannable: str = "raise",
     profile=None,
     prune: bool = True,
+    spans=None,
 ) -> dict[int, FlowPlan]:
     """Alg. 2: allocate every flow, in the order given, onto its best path.
 
@@ -126,8 +127,11 @@ def path_calculation(
     :class:`~repro.util.errors.AllocationError`; ``"skip"`` omits the flow
     from the returned plans (it simply does not transmit for now).
 
-    ``profile`` (optional :class:`~repro.metrics.profiling.ProfileCounters`)
-    counts work done and wall time.  ``prune`` enables the fast candidate
+    ``profile`` (optional :class:`~repro.obs.hotpath.HotPathCounters`)
+    counts work done and wall time; ``spans`` (optional
+    :class:`~repro.obs.spans.SpanTimers`) additionally records each call's
+    duration as a ``path_calculation`` span nested under whatever span the
+    caller has open.  ``prune`` enables the fast candidate
     evaluation: candidates whose contention-free completion (``release +
     duration``, a hard lower bound on any path) cannot beat the current
     best are skipped outright, and the survivors are scored with a fused
@@ -144,6 +148,21 @@ def path_calculation(
     """
     if on_unplannable not in ("raise", "skip"):
         raise ValueError(f"bad on_unplannable {on_unplannable!r}")
+    if spans is not None:
+        with spans.span("path_calculation"):
+            return _profiled_path_calculation(
+                flows, ledger, paths, capacity, now, horizon, on_unplannable,
+                profile, prune,
+            )
+    return _profiled_path_calculation(
+        flows, ledger, paths, capacity, now, horizon, on_unplannable,
+        profile, prune,
+    )
+
+
+def _profiled_path_calculation(
+    flows, ledger, paths, capacity, now, horizon, on_unplannable, profile, prune
+) -> dict[int, FlowPlan]:
     if profile is None:
         return _path_calculation(
             flows, ledger, paths, capacity, now, horizon, on_unplannable,

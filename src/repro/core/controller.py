@@ -20,7 +20,9 @@ so the only wasted bytes TAPS can produce come from preempted victims.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.allocation import (
     FlowPlan,
@@ -29,7 +31,8 @@ from repro.core.allocation import (
 )
 from repro.core.reject import Decision, PreemptionPolicy, RejectRule
 from repro.core.occupancy import OccupancyLedger
-from repro.metrics.profiling import ProfileCounters
+from repro.obs.hotpath import HotPathCounters as ProfileCounters
+from repro.obs.registry import MetricsRegistry
 from repro.sched.base import PRIORITY_KEYS, Scheduler
 from repro.sim.state import FlowState, FlowStatus, TaskState
 from repro.trace.events import (
@@ -81,7 +84,7 @@ class TapsStats:
 
     ``profile`` holds the hot-path work counters (union-cache hit rate,
     intervals scanned, candidates pruned, time in path calculation) — see
-    :class:`~repro.metrics.profiling.ProfileCounters`.
+    :class:`~repro.obs.hotpath.HotPathCounters`.
     """
 
     tasks_accepted: int = 0
@@ -156,6 +159,19 @@ class TapsScheduler(Scheduler):
         runs emit identical streams.  When the engine is constructed
         with a recorder it hands it to an un-traced TAPS scheduler
         automatically.
+    telemetry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The
+        controller records each admission's wall latency into the
+        ``controller/admission_latency_seconds`` histogram, opens
+        ``admission``/``trial``/``commit``/``rollback`` spans around the
+        Alg. 1 pipeline (with ``path_calculation`` nested inside), and
+        publishes its decision and hot-path counters at end of run via
+        :meth:`publish_telemetry`.  Telemetry is strictly one-way
+        observation — no decision ever reads it — so traces stay
+        byte-identical with it on or off (see DESIGN.md §7).  ``None``
+        (default) disables instrumentation entirely; like ``trace``, the
+        engine hands its registry to an uninstrumented TAPS scheduler
+        automatically.
     """
 
     name = "TAPS"
@@ -171,6 +187,7 @@ class TapsScheduler(Scheduler):
         explain: bool = False,
         fast_path: bool = True,
         trace: TraceRecorder | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         super().__init__()
         if batch_window < 0 or control_latency < 0:
@@ -191,6 +208,7 @@ class TapsScheduler(Scheduler):
         self.explain = explain
         self.fast_path = fast_path
         self.trace = trace
+        self.telemetry = telemetry
         self.diagnostics: list[RejectionDiagnostics] = []
         self._switch_of_link: dict[int, str] = {}
         self.stats = TapsStats()
@@ -234,6 +252,42 @@ class TapsScheduler(Scheduler):
                 reallocate_inflight=self.reallocate_inflight,
                 exclusive_links=True,
             )
+        if self.telemetry is not None:
+            # telemetry identity may include fast_path — unlike trace meta
+            # it is not under the byte-identity contract
+            self.telemetry.set_meta(
+                scheduler=self.name,
+                priority=self.priority,
+                preemption=self.rule.policy.value,
+                fast_path=self.fast_path,
+            )
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _span(self, name: str):
+        """A telemetry span, or a free no-op when telemetry is off."""
+        tel = self.telemetry
+        return tel.spans.span(name) if tel is not None else nullcontext()
+
+    def publish_telemetry(self) -> None:
+        """Mirror decision and hot-path counters into the registry.
+
+        Called once at end of run (the engine does it automatically);
+        counters accumulate cheaply on :class:`TapsStats` during the run
+        and land in the registry here, so the admission hot path never
+        touches registry instruments.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        s = self.stats
+        for name in (
+            "tasks_accepted", "tasks_rejected", "tasks_preempted",
+            "reallocations", "backstop_kills", "flows_planned",
+            "fault_reroutes", "tasks_dropped_on_fault",
+        ):
+            tel.counter("controller/" + name).inc(getattr(s, name))
+        s.profile.publish_to(tel, prefix="alloc/")
 
     # -- decision tracing ---------------------------------------------------
 
@@ -286,6 +340,20 @@ class TapsScheduler(Scheduler):
             self._admit_task(ts, now)
 
     def _admit_task(self, task_state: TaskState, now: float) -> None:
+        tel = self.telemetry
+        if tel is None:
+            self._admit(task_state, now)
+            return
+        with tel.spans.span("admission"):
+            t0 = perf_counter()
+            try:
+                self._admit(task_state, now)
+            finally:
+                tel.histogram(
+                    "controller/admission_latency_seconds"
+                ).observe(perf_counter() - t0)
+
+    def _admit(self, task_state: TaskState, now: float) -> None:
         assert self.paths is not None
         self._task_states[task_state.task.task_id] = task_state
         # one controller round-trip before any new slice can start
@@ -307,50 +375,58 @@ class TapsScheduler(Scheduler):
         # fast path: one outage-only base ledger, reset between retries by
         # the rollback journal instead of being rebuilt from scratch
         trial_base = self._outage_ledger() if self.fast_path else None
+        spans = None if self.telemetry is None else self.telemetry.spans
         attempt = 0
         while True:
             attempt += 1
-            ftmp = sorted(old_flows + new_flows, key=self._priority_key)
-            if self.trace is not None:
-                self.trace.emit(TrialBegin(
-                    now, task_id=task_state.task.task_id, attempt=attempt,
-                    flows=self._trial_flows(ftmp),
-                ))
-            if trial_base is not None:
-                trial_ledger = trial_base
-                trial_ledger.begin_trial()
-            else:
-                trial_ledger = self._outage_ledger()
-            horizon = allocation_horizon(ftmp, self._capacity, now)
-            trial_plans = path_calculation(
-                ftmp, trial_ledger, self.paths, self._capacity, now, horizon,
-                on_unplannable="skip",
-                profile=self.stats.profile, prune=self.fast_path,
-            )
-            self.stats.reallocations += 1
-            self.stats.flows_planned += len(trial_plans)
-
-            # a new-task flow with no usable path at all (outage) → reject
-            if any(fs.flow.flow_id not in trial_plans for fs in new_flows):
-                missing = tuple(
-                    (fs.flow.flow_id, fs.flow.task_id)
-                    for fs in new_flows
-                    if fs.flow.flow_id not in trial_plans
+            with self._span("trial"):
+                ftmp = sorted(old_flows + new_flows, key=self._priority_key)
+                if self.trace is not None:
+                    self.trace.emit(TrialBegin(
+                        now, task_id=task_state.task.task_id, attempt=attempt,
+                        flows=self._trial_flows(ftmp),
+                    ))
+                if trial_base is not None:
+                    trial_ledger = trial_base
+                    trial_ledger.begin_trial()
+                else:
+                    trial_ledger = self._outage_ledger()
+                horizon = allocation_horizon(ftmp, self._capacity, now)
+                trial_plans = path_calculation(
+                    ftmp, trial_ledger, self.paths, self._capacity, now,
+                    horizon, on_unplannable="skip",
+                    profile=self.stats.profile, prune=self.fast_path,
+                    spans=spans,
                 )
-                self._reject(task_state, reason="unreachable", now=now,
-                             missing=missing)
-                return
+                self.stats.reallocations += 1
+                self.stats.flows_planned += len(trial_plans)
 
-            decision = self.rule.evaluate(trial_plans, task_state, self._task_states)
+                # a new-task flow with no usable path at all (outage) → reject
+                if any(fs.flow.flow_id not in trial_plans for fs in new_flows):
+                    missing = tuple(
+                        (fs.flow.flow_id, fs.flow.task_id)
+                        for fs in new_flows
+                        if fs.flow.flow_id not in trial_plans
+                    )
+                    self._reject(task_state, reason="unreachable", now=now,
+                                 missing=missing)
+                    return
+
+                decision = self.rule.evaluate(
+                    trial_plans, task_state, self._task_states
+                )
 
             if decision.decision is Decision.ACCEPT:
                 if not self._tables_fit(trial_plans):
                     # §IV-C: some switch would exceed its install budget
                     self._reject(task_state, reason="table-limit", now=now)
                     return
-                if trial_base is not None:
-                    trial_ledger.commit_trial()
-                self._commit(task_state, trial_plans, trial_ledger, victims, now)
+                with self._span("commit"):
+                    if trial_base is not None:
+                        trial_ledger.commit_trial()
+                    self._commit(
+                        task_state, trial_plans, trial_ledger, victims, now
+                    )
                 return
 
             if decision.decision is Decision.REJECT_NEW:
@@ -389,12 +465,14 @@ class TapsScheduler(Scheduler):
                 victim_ratio=decision.victim_ratio,
                 new_ratio=decision.new_ratio,
             ))
-            victims.append(decision.victim_task_id)
-            old_flows = [
-                fs for fs in old_flows if fs.flow.task_id != decision.victim_task_id
-            ]
-            if trial_base is not None:
-                trial_base.rollback_trial()
+            with self._span("rollback"):
+                victims.append(decision.victim_task_id)
+                old_flows = [
+                    fs for fs in old_flows
+                    if fs.flow.task_id != decision.victim_task_id
+                ]
+                if trial_base is not None:
+                    trial_base.rollback_trial()
 
     def _commit(
         self,
@@ -482,6 +560,7 @@ class TapsScheduler(Scheduler):
             ftmp, trial_ledger, self.paths, self._capacity, now, horizon,
             on_unplannable="skip",
             profile=self.stats.profile, prune=self.fast_path,
+            spans=None if self.telemetry is None else self.telemetry.spans,
         )
         self.stats.reallocations += 1
         self.stats.flows_planned += len(trial_plans)
@@ -625,11 +704,13 @@ class TapsScheduler(Scheduler):
         """Reroute: globally reallocate all in-flight flows around the new
         outage picture (and back onto recovered links)."""
         self._down_links = frozenset(down_links)
-        self._reallocate_inflight(now)
+        with self._span("fault_reallocation"):
+            self._reallocate_inflight(now)
 
     def _reallocate_inflight(self, now: float) -> None:
         flows = [fs for fs in self._accepted_flows.values() if fs.active]
         trial_base = self._outage_ledger() if self.fast_path else None
+        spans = None if self.telemetry is None else self.telemetry.spans
         dropped: list[int] = []
         while True:
             ftmp = sorted(flows, key=self._priority_key)
@@ -643,6 +724,7 @@ class TapsScheduler(Scheduler):
                 ftmp, ledger, self.paths, self._capacity, now, horizon,
                 on_unplannable="skip",
                 profile=self.stats.profile, prune=self.fast_path,
+                spans=spans,
             )
             self.stats.reallocations += 1
             missing_tasks = {

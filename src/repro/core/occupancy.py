@@ -44,7 +44,7 @@ class OccupancyLedger:
     Parameters
     ----------
     profile:
-        Optional :class:`~repro.metrics.profiling.ProfileCounters`
+        Optional :class:`~repro.obs.hotpath.HotPathCounters`
         (duck-typed — any object with the counter attributes works).
         Counts union-cache hits/misses and intervals scanned; ``None``
         disables counting.

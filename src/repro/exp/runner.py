@@ -126,6 +126,7 @@ def run_traced(
     seed: int = 7,
     fast_path: bool = True,
     faults=None,
+    telemetry=None,
 ):
     """One TAPS run on the scale's fat-tree with a trace attached.
 
@@ -133,7 +134,9 @@ def run_traced(
     :class:`~repro.sim.engine.SimulationResult` and the filled
     :class:`~repro.trace.recorder.TraceRecorder` (export with
     ``recorder.to_jsonl(path)``, check with
-    :func:`repro.trace.audit_trace`).
+    :func:`repro.trace.audit_trace`).  ``telemetry`` (an optional
+    :class:`~repro.obs.registry.MetricsRegistry`) additionally collects
+    run metrics; export with :func:`write_run_artifacts`.
     """
     from repro.core.controller import TapsScheduler
     from repro.net.paths import PathService
@@ -147,10 +150,41 @@ def run_traced(
     cfg = scale.workload_config(**overrides)
     tasks = generate_workload(cfg, list(topo.hosts))
     recorder = TraceRecorder()
+    if telemetry is not None:
+        telemetry.set_meta(scale=scale.name, seed=seed,
+                           num_tasks=len(tasks))
     engine = Engine(
         topo, tasks, TapsScheduler(fast_path=fast_path),
         path_service=PathService(topo, max_paths=scale.max_paths),
-        faults=faults, trace=recorder,
+        faults=faults, trace=recorder, telemetry=telemetry,
     )
     result = engine.run()
     return result, recorder
+
+
+def write_run_artifacts(
+    out_dir: str | Path,
+    recorder: TraceRecorder | None = None,
+    telemetry=None,
+) -> dict[str, Path]:
+    """Write a run's artifacts into ``out_dir`` and return their paths.
+
+    The layout is the contract ``repro-taps stats`` reads:
+    ``trace.jsonl`` (decision trace), ``telemetry.jsonl`` (versioned
+    metrics snapshot), ``telemetry.prom`` (Prometheus text exposition).
+    Only the artifacts whose source object was supplied are written.
+    """
+    from repro.obs.export import write_jsonl, write_prometheus
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    if recorder is not None:
+        recorder.to_jsonl(out / "trace.jsonl")
+        written["trace"] = out / "trace.jsonl"
+    if telemetry is not None:
+        written["telemetry"] = write_jsonl(telemetry, out / "telemetry.jsonl")
+        written["prometheus"] = write_prometheus(
+            telemetry, out / "telemetry.prom"
+        )
+    return written

@@ -52,6 +52,7 @@ class LinkLoadCollector:
         self._per_flow_bytes: dict[int, float] = {}
         self._flow_paths: dict[int, tuple[int, ...]] = {}
         self._met: dict[int, bool] = {}
+        self._peak: dict[int, float] = {}
 
     # -- engine hook ----------------------------------------------------------
 
@@ -59,6 +60,7 @@ class LinkLoadCollector:
         dt = t1 - t0
         if dt <= 0:
             return
+        link_rates: dict[int, float] = {}
         for fs in active:
             if fs.rate > 0 and fs.path is not None:
                 fid = fs.flow.flow_id
@@ -66,6 +68,15 @@ class LinkLoadCollector:
                     self._per_flow_bytes.get(fid, 0.0) + fs.rate * dt
                 )
                 self._flow_paths[fid] = fs.path
+                for l in fs.path:
+                    link_rates[l] = link_rates.get(l, 0.0) + fs.rate
+        if link_rates:
+            links = self.topology.links
+            peak = self._peak
+            for l, r in link_rates.items():
+                frac = r / links[l].capacity
+                if frac > peak.get(l, 0.0):
+                    peak[l] = frac
 
     def on_flow_settled(self, fs: FlowState, now: float) -> None:
         self._met[fs.flow.flow_id] = fs.met_deadline
@@ -117,3 +128,13 @@ class LinkLoadCollector:
     def hottest(self, horizon: float, n: int = 5) -> list[LinkLoad]:
         """The ``n`` most loaded links."""
         return self.utilization(horizon)[:n]
+
+    def peak_utilization(self) -> dict[int, float]:
+        """Per-link *peak instantaneous* utilization over the run.
+
+        The highest ``Σ flow rates / capacity`` any advance interval saw
+        on each link — the congestion question ("did this link ever
+        saturate?"), complementing :meth:`utilization`'s time-averaged
+        one.  Only links that ever carried traffic appear.
+        """
+        return dict(self._peak)

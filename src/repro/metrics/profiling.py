@@ -1,96 +1,16 @@
-"""Hot-path profiling counters for the allocation fast path.
+"""Compatibility shim: ``ProfileCounters`` moved to :mod:`repro.obs.hotpath`.
 
-The controller's single hottest loop is :func:`~repro.core.allocation.
-path_calculation`: on every task arrival it re-plans all in-flight flows,
-and for each flow it evaluates every candidate path against the per-link
-occupancy sets.  :class:`ProfileCounters` instruments that loop — how often
-the :class:`~repro.core.occupancy.OccupancyLedger` union cache hits, how
-many occupancy intervals the union merges scan, how many candidate paths
-the lower-bound prune skips, and how much wall time path calculation
-costs — so benchmarks report *work done*, not just elapsed seconds, and
-future optimisation PRs have a trajectory to beat.
-
-One instance lives on :class:`~repro.core.controller.TapsStats` (as
-``stats.profile``); the controller hands it to every ledger it creates and
-to every ``path_calculation`` call.  The counters are deliberately plain
-attribute increments so the instrumented hot path stays cheap, and the
-consumers (``occupancy``/``allocation``) treat the profile as an optional
-duck-typed object — passing ``None`` disables counting entirely.
+The hot-path work counters grew merge/publish semantics when the
+telemetry subsystem landed (``src/repro/obs/``) and live there now as
+:class:`~repro.obs.hotpath.HotPathCounters`.  This alias keeps existing
+imports (``from repro.metrics.profiling import ProfileCounters``) and
+every recorded ``profile`` dict in ``benchmarks/results/`` meaningful —
+the class has the same fields, properties, and ``as_dict`` output as
+before, plus ``merge``/``from_dict``/``publish_to``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from repro.obs.hotpath import HotPathCounters as ProfileCounters
 
-
-@dataclass(slots=True)
-class ProfileCounters:
-    """Counters for the controller's allocation hot path.
-
-    Attributes
-    ----------
-    union_cache_hits, union_cache_misses:
-        ``OccupancyLedger.union_for`` calls served from / missing the
-        per-path union cache.  On a cache-disabled ledger every call
-        counts as a miss (the recompute path), so hit rates compare
-        cleanly across modes.
-    intervals_scanned:
-        Occupancy intervals fed into union recomputation — the merge work
-        the cache avoids repeating.
-    candidates_evaluated:
-        Candidate paths considered by Alg. 2's multi-path comparison
-        (single-candidate flows skip the comparison and are not counted).
-    candidates_pruned:
-        Candidates skipped outright because their contention-free
-        completion (``release + duration``) could not beat the best
-        candidate so far; mid-scan ``stop_at`` aborts are not counted
-        here (their partial scan is real work).
-    path_calculation_calls, path_calculation_seconds:
-        Invocations of, and total wall time inside,
-        :func:`~repro.core.allocation.path_calculation`.
-    trials_rolled_back:
-        Ledger trials undone via the rollback journal (discard-victim
-        retries and rejected incremental admissions).
-    max_reallocation_depth:
-        Largest number of victims discarded while admitting one task —
-        how deep the Alg. 1 retry loop has ever gone.
-    """
-
-    union_cache_hits: int = 0
-    union_cache_misses: int = 0
-    intervals_scanned: int = 0
-    candidates_evaluated: int = 0
-    candidates_pruned: int = 0
-    path_calculation_calls: int = 0
-    path_calculation_seconds: float = 0.0
-    trials_rolled_back: int = 0
-    max_reallocation_depth: int = 0
-
-    @property
-    def union_cache_hit_rate(self) -> float:
-        """Fraction of ``union_for`` calls served from the cache."""
-        total = self.union_cache_hits + self.union_cache_misses
-        return self.union_cache_hits / total if total else 0.0
-
-    @property
-    def prune_rate(self) -> float:
-        """Fraction of evaluated candidates skipped by the lower bound."""
-        return (
-            self.candidates_pruned / self.candidates_evaluated
-            if self.candidates_evaluated
-            else 0.0
-        )
-
-    def as_dict(self) -> dict[str, float]:
-        """All counters plus the derived rates, JSON-ready."""
-        out: dict[str, float] = {
-            f.name: getattr(self, f.name) for f in fields(self)
-        }
-        out["union_cache_hit_rate"] = self.union_cache_hit_rate
-        out["prune_rate"] = self.prune_rate
-        return out
-
-    def reset(self) -> None:
-        """Zero every counter in place."""
-        for f in fields(self):
-            setattr(self, f.name, type(getattr(self, f.name))())
+__all__ = ["ProfileCounters"]

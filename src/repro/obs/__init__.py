@@ -1,0 +1,46 @@
+"""Runtime telemetry: metrics registry, span timers, exporters, reports.
+
+See DESIGN.md §7 for the schema, the instrument naming convention, and
+the telemetry-vs-trace boundary.  The short version: telemetry measures
+*how long and how much* (histograms, counters, gauges — mergeable across
+sweep workers), the decision trace records *what was decided*, and
+nothing in this package is ever consulted by scheduling code.
+"""
+
+from repro.obs.export import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryError,
+    TelemetrySnapshot,
+    dumps_jsonl,
+    dumps_prometheus,
+    load_jsonl,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.hotpath import HotPathCounters
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import render_stats
+from repro.obs.spans import SpanTimers
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryError",
+    "TelemetrySnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HotPathCounters",
+    "MetricsRegistry",
+    "SpanTimers",
+    "dumps_jsonl",
+    "dumps_prometheus",
+    "load_jsonl",
+    "render_stats",
+    "write_jsonl",
+    "write_prometheus",
+]

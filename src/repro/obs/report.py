@@ -1,0 +1,180 @@
+"""Render a human-readable run report from an exported telemetry snapshot.
+
+``repro-taps stats <run-dir>`` loads ``telemetry.jsonl`` and calls
+:func:`render_stats` — everything in the report is computed from the
+exported artifact alone, with no re-simulation.  Sections degrade
+gracefully: a snapshot that never saw the engine (e.g. a bare controller
+benchmark) simply omits the engine/link sections rather than erroring.
+
+Instrument names consumed here are the contract published in DESIGN.md
+§7; renaming an instrument means updating both.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import TelemetrySnapshot
+from repro.obs.registry import Histogram, MetricsRegistry
+
+#: span histograms start with this prefix; the remainder is the /-path
+SPAN_PREFIX = "span/"
+
+
+def _fmt_seconds(s: float) -> str:
+    if s == 0:
+        return "0"
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}µs"
+    if s < 1.0:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s:.3f}s"
+
+
+def _fmt_rate(num: float, den: float) -> str:
+    return f"{num / den:6.1%}" if den else "   n/a"
+
+
+def _section(title: str) -> list[str]:
+    return ["", title, "-" * len(title)]
+
+
+def _counter_value(snap: TelemetrySnapshot, name: str) -> float | None:
+    item = snap.get(name)
+    return item["value"] if item is not None else None
+
+
+def _admission_section(reg: MetricsRegistry) -> list[str]:
+    hist = reg.get("controller/admission_latency_seconds")
+    if not isinstance(hist, Histogram) or hist.count == 0:
+        return []
+    out = _section("Admission latency")
+    pcts = hist.percentiles(0.50, 0.90, 0.99)
+    out.append(
+        f"  {hist.count} admissions, mean {_fmt_seconds(hist.mean)}, "
+        f"total {_fmt_seconds(hist.sum)}"
+    )
+    out.append(
+        "  p50 {p50}  p90 {p90}  p99 {p99}  max {mx}".format(
+            p50=_fmt_seconds(pcts["p50"]),
+            p90=_fmt_seconds(pcts["p90"]),
+            p99=_fmt_seconds(pcts["p99"]),
+            mx=_fmt_seconds(hist.max),
+        )
+    )
+    return out
+
+
+def _decisions_section(snap: TelemetrySnapshot) -> list[str]:
+    accepted = _counter_value(snap, "controller/tasks_accepted")
+    rejected = _counter_value(snap, "controller/tasks_rejected")
+    if accepted is None and rejected is None:
+        return []
+    accepted = accepted or 0
+    rejected = rejected or 0
+    total = accepted + rejected
+    out = _section("Admission decisions")
+    out.append(f"  accepted   {accepted:>8}  ({_fmt_rate(accepted, total)})")
+    out.append(f"  rejected   {rejected:>8}  ({_fmt_rate(rejected, total)})")
+    preempted = _counter_value(snap, "controller/tasks_preempted")
+    if preempted:
+        out.append(f"  preempted  {preempted:>8}  (victim tasks discarded)")
+    rounds = _counter_value(snap, "controller/reallocations")
+    rollbacks = _counter_value(snap, "alloc/trials_rolled_back")
+    if rounds is not None:
+        out.append(
+            f"  reallocation rounds {rounds:>8}"
+            + (f"  ({rollbacks:g} trials rolled back)" if rollbacks else "")
+        )
+    return out
+
+
+def _cache_section(snap: TelemetrySnapshot) -> list[str]:
+    pairs = [
+        ("union cache", "alloc/union_cache_hits", "alloc/union_cache_misses"),
+        ("result cache", "executor/cache_hits", "executor/cache_misses"),
+    ]
+    rows = []
+    for label, hit_name, miss_name in pairs:
+        hits = _counter_value(snap, hit_name)
+        misses = _counter_value(snap, miss_name)
+        if hits is None and misses is None:
+            continue
+        hits = hits or 0
+        misses = misses or 0
+        rows.append(
+            f"  {label:<13} {_fmt_rate(hits, hits + misses)}  "
+            f"({hits} hits / {misses} misses)"
+        )
+    pruned = _counter_value(snap, "alloc/candidates_pruned")
+    evaluated = _counter_value(snap, "alloc/candidates_evaluated")
+    if evaluated is not None:
+        rows.append(
+            f"  {'path prune':<13} {_fmt_rate(pruned or 0, evaluated)}  "
+            f"({pruned or 0} of {evaluated} candidates)"
+        )
+    if not rows:
+        return []
+    return _section("Cache and prune effectiveness") + rows
+
+
+def _links_section(reg: MetricsRegistry, top: int = 10) -> list[str]:
+    peaks = reg.find("net/link_peak_utilization")
+    if not peaks:
+        return []
+    ranked = sorted(peaks, key=lambda g: g.max, reverse=True)
+    out = _section(f"Per-link peak utilization (top {min(top, len(ranked))} "
+                   f"of {len(ranked)} links)")
+    for g in ranked[:top]:
+        labels = dict(g.labels)
+        name = labels.get("link", "?")
+        ends = (
+            f" ({labels['src']}→{labels['dst']})"
+            if "src" in labels and "dst" in labels
+            else ""
+        )
+        out.append(f"  link {name:>4}{ends:<14} peak {g.max:6.1%}")
+    return out
+
+
+def _span_tree(reg: MetricsRegistry) -> list[str]:
+    spans = [
+        h for h in reg.instruments()
+        if isinstance(h, Histogram) and h.name.startswith(SPAN_PREFIX)
+    ]
+    if not spans:
+        return []
+    total = sum(h.sum for h in spans if "/" not in h.name[len(SPAN_PREFIX):])
+    out = _section("Span-time breakdown")
+    out.append(f"  {'span':<44} {'calls':>8} {'total':>10} {'mean':>10}")
+    for h in sorted(spans, key=lambda h: h.name):
+        path = h.name[len(SPAN_PREFIX):]
+        depth = path.count("/")
+        leaf = path.rsplit("/", 1)[-1]
+        label = "  " * depth + leaf
+        share = f"  {h.sum / total:5.1%}" if depth == 0 and total else ""
+        out.append(
+            f"  {label:<44} {h.count:>8} {_fmt_seconds(h.sum):>10} "
+            f"{_fmt_seconds(h.mean):>10}{share}"
+        )
+    return out
+
+
+def render_stats(snap: TelemetrySnapshot) -> str:
+    """The full ``repro-taps stats`` report for one telemetry snapshot."""
+    reg = snap.to_registry()
+    lines = ["Telemetry report" + (f" (schema {snap.schema})" if snap.schema else "")]
+    if snap.meta:
+        lines.extend(
+            f"  {k}: {v}" for k, v in sorted(snap.meta.items())
+        )
+    if not snap.instruments:
+        lines.append("  (no instruments recorded)")
+        return "\n".join(lines) + "\n"
+    for section in (
+        _admission_section(reg),
+        _decisions_section(snap),
+        _cache_section(snap),
+        _links_section(reg),
+        _span_tree(reg),
+    ):
+        lines.extend(section)
+    return "\n".join(lines) + "\n"

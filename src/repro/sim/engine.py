@@ -21,7 +21,7 @@ what changed".
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.net.paths import PathService
 from repro.net.topology import Topology
@@ -123,6 +123,21 @@ class Engine:
         scheduler supports tracing but was built without a recorder —
         hands the same recorder to the scheduler before ``attach`` so
         controller decisions and engine facts interleave in one stream.
+    telemetry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The
+        engine opens a ``run`` span over the whole simulation with
+        ``arrival``/``rates`` phase spans nested inside (scheduler spans
+        nest further, e.g. ``span/run/arrival/admission``), tracks the
+        ``engine/active_flows`` gauge, auto-attaches a
+        :class:`~repro.metrics.linkload.LinkLoadCollector` hook (reusing
+        a caller-supplied one), and at end of run publishes its work
+        counters, per-link ``net/link_utilization`` /
+        ``net/link_peak_utilization`` gauges, and the scheduler's own
+        telemetry (via ``publish_telemetry``, when the scheduler has
+        one).  Like ``trace``, the registry is handed to a
+        telemetry-capable scheduler before ``attach``.  Telemetry never
+        feeds back into decisions, so traces stay byte-identical with it
+        on or off.
     """
 
     def __init__(
@@ -136,6 +151,7 @@ class Engine:
         faults=None,
         horizon: float | None = None,
         trace: TraceRecorder | None = None,
+        telemetry=None,
     ) -> None:
         from repro.sim.faults import FaultSchedule
 
@@ -166,6 +182,19 @@ class Engine:
         self._task_by_id = {ts.task.task_id: ts for ts in self.task_states}
         self.counters = EngineCounters()
         self.trace = trace
+        self.telemetry = telemetry
+        self._tel_linkload = None
+        if telemetry is not None and getattr(telemetry, "enabled", True):
+            # lazy import: repro.metrics.summary imports this module back
+            from repro.metrics.linkload import LinkLoadCollector
+
+            for hook in self.hooks:
+                if isinstance(hook, LinkLoadCollector):
+                    self._tel_linkload = hook
+                    break
+            else:
+                self._tel_linkload = LinkLoadCollector(topology)
+                self.hooks = (*self.hooks, self._tel_linkload)
         # flow_id -> (path, task_id) of flows physically transmitting now;
         # diffed against the post-recompute picture to emit slice events
         self._transmitting: dict[int, tuple[tuple[int, ...], int]] = {}
@@ -190,7 +219,21 @@ class Engine:
             # the scheduler supports tracing but has no recorder: share ours
             # (must happen before attach — that's where meta is stamped)
             sched.trace = trace
+        tel = self.telemetry
+        if tel is not None and getattr(sched, "telemetry", False) is None:
+            # same handoff for telemetry: a telemetry-capable scheduler
+            # built without a registry records into ours
+            sched.telemetry = tel
         sched.attach(self.topology, self.path_service)
+        run_span = None
+        if tel is not None:
+            tel.set_meta(
+                topology=self.topology.name,
+                num_tasks=len(self.task_states),
+            )
+            active_gauge = tel.gauge("engine/active_flows")
+            run_span = tel.spans.span("run")
+            run_span.__enter__()
 
         now = 0.0
         next_arrival_idx = 0
@@ -234,7 +277,11 @@ class Engine:
                         num_flows=len(ts.task.flows),
                         total_bytes=ts.task.total_size,
                     ))
-                sched.on_task_arrival(ts, now)
+                if tel is None:
+                    sched.on_task_arrival(ts, now)
+                else:
+                    with tel.spans.span("arrival"):
+                        sched.on_task_arrival(ts, now)
                 unsettled_tasks.add(ts.task.task_id)
                 for fs in ts.flow_states:
                     if fs.active:
@@ -293,7 +340,11 @@ class Engine:
             # 3. (re)compute rates
             if dirty:
                 self.counters.rate_recomputes += 1
-                sched.assign_rates(now)
+                if tel is None:
+                    sched.assign_rates(now)
+                else:
+                    with tel.spans.span("rates"):
+                        sched.assign_rates(now)
                 # physics: a down link carries nothing, whatever was asked
                 if down_links:
                     for fs in active:
@@ -304,6 +355,8 @@ class Engine:
                 dirty = False
                 if trace is not None:
                     self._sync_slices(active, now)
+            if tel is not None:
+                active_gauge.set(len(active))
 
             # 4. choose the next event time
             t_next = math.inf
@@ -390,6 +443,10 @@ class Engine:
         if trace is not None:
             self._flush_slices(now)
             trace.emit(RunEnd(now))
+        if run_span is not None:
+            run_span.__exit__(None, None, None)
+        if tel is not None:
+            self._publish_telemetry(tel, now)
         result = SimulationResult(
             scheduler_name=getattr(sched, "name", type(sched).__name__),
             topology_name=self.topology.name,
@@ -401,6 +458,31 @@ class Engine:
         return result
 
     # -- helpers -----------------------------------------------------------
+
+    def _publish_telemetry(self, tel, now: float) -> None:
+        """End-of-run publication: engine work counters, the scheduler's
+        own counters, and per-link utilization gauges."""
+        for f in fields(EngineCounters):
+            tel.counter("engine/" + f.name).inc(getattr(self.counters, f.name))
+        publish = getattr(self.scheduler, "publish_telemetry", None)
+        if publish is not None:
+            publish()
+        collector = self._tel_linkload
+        if collector is None:
+            return
+        collector.finalize(self.flow_states)
+        links = self.topology.links
+
+        def labels(l: int) -> dict[str, str]:
+            return {"link": str(l), "src": links[l].src, "dst": links[l].dst}
+
+        if now > 0:
+            for load in collector.utilization(now):
+                tel.gauge(
+                    "net/link_utilization", labels(load.link_index)
+                ).set(load.utilization)
+        for l, frac in sorted(collector.peak_utilization().items()):
+            tel.gauge("net/link_peak_utilization", labels(l)).set(frac)
 
     def _sync_slices(self, active: list[FlowState], now: float) -> None:
         """Diff the physically-transmitting set against the last picture and

@@ -88,6 +88,41 @@ def test_run_with_fault_audits_clean(tmp_path, capsys):
     assert "link state changes" in capsys.readouterr().out
 
 
+def test_run_out_dir_then_stats_roundtrip(tmp_path, capsys):
+    """``run --out-dir`` writes the artifact bundle; ``stats`` renders a
+    report from those artifacts alone (no re-simulation)."""
+    run_dir = tmp_path / "run1"
+    assert main(["run", "--tasks", "8", "--out-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    for name in ("trace.jsonl", "telemetry.jsonl", "telemetry.prom"):
+        assert (run_dir / name).exists(), name
+    # the trace in the bundle is a valid audit target too
+    assert main(["audit", str(run_dir / "trace.jsonl")]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Telemetry report" in out
+    assert "Admission latency" in out and "p99" in out
+    assert "accepted" in out
+    assert "link" in out  # per-link peak utilization section
+    assert "Span-time breakdown" in out
+    # stats also accepts the telemetry file path directly
+    assert main(["stats", str(run_dir / "telemetry.jsonl")]) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_stats_rejects_corrupt_telemetry(tmp_path, capsys):
+    run_dir = tmp_path / "run1"
+    assert main(["run", "--tasks", "4", "--out-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    tele = run_dir / "telemetry.jsonl"
+    tele.write_text('{"kind":"trace-header","schema":1}\n')
+    assert main(["stats", str(run_dir)]) == 1
+    assert "not a telemetry file" in capsys.readouterr().err
+    assert main(["stats", str(tmp_path / "nowhere")]) == 1
+    assert "no telemetry" in capsys.readouterr().err
+
+
 def test_audit_fails_on_corrupted_trace(tmp_path, capsys):
     """Flip one committed plan so its slices overlap another flow's: the
     CLI must exit non-zero and name the violated invariant."""

@@ -1,0 +1,214 @@
+"""JSONL/Prometheus export: round-trip fidelity and strict validation.
+
+The telemetry file is a versioned artifact other tooling (CI, ``stats``)
+consumes, so the loader must reject anything mis-shaped rather than
+render a half-plausible report from it.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryError,
+    dumps_jsonl,
+    dumps_prometheus,
+    load_jsonl,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(meta={"scale": "small", "seed": 3})
+    reg.counter("controller/tasks_accepted").inc(12)
+    reg.gauge("net/link_peak_utilization",
+              {"link": "4", "src": "a", "dst": "b"}).set(0.75)
+    h = reg.histogram("controller/admission_latency_seconds")
+    for v in (1e-4, 2e-4, 5e-3, 1e-2):
+        h.observe(v)
+    with reg.spans.span("run"):
+        pass
+    return reg
+
+
+def test_jsonl_round_trip_is_byte_identical():
+    reg = _sample_registry()
+    text = dumps_jsonl(reg)
+    snap = load_jsonl(text.splitlines())
+    assert snap.schema == TELEMETRY_SCHEMA_VERSION
+    assert snap.meta == {"scale": "small", "seed": 3}
+    # rebuild a registry from the snapshot and re-export: identical bytes
+    assert dumps_jsonl(snap.to_registry()) == text
+
+
+def test_write_and_load_file(tmp_path):
+    path = write_jsonl(_sample_registry(), tmp_path / "telemetry.jsonl")
+    snap = load_jsonl(path)
+    assert snap.get("controller/tasks_accepted")["value"] == 12
+    assert snap.find("net/link_peak_utilization")[0]["labels"]["link"] == "4"
+
+
+def test_loaded_histogram_quantiles_survive_round_trip():
+    reg = _sample_registry()
+    live = reg.get("controller/admission_latency_seconds")
+    snap = load_jsonl(dumps_jsonl(reg).splitlines())
+    rebuilt = snap.to_registry().get("controller/admission_latency_seconds")
+    assert rebuilt.quantile(0.5) == live.quantile(0.5)
+    assert rebuilt.quantile(0.99) == live.quantile(0.99)
+
+
+def _lines():
+    return dumps_jsonl(_sample_registry()).splitlines()
+
+
+def _counter_line(lines):
+    """Index and parsed body of the first counter instrument line.
+
+    Instrument lines are sorted by name, so the counter is not at a fixed
+    index — locate it by kind before mutating it.
+    """
+    for i, line in enumerate(lines[1:], start=1):
+        item = json.loads(line)
+        if item.get("kind") == "counter":
+            return i, item
+    raise AssertionError("sample registry has no counter line")
+
+
+def test_load_rejects_empty_file():
+    with pytest.raises(TelemetryError, match="no header"):
+        load_jsonl([])
+
+
+def test_load_rejects_foreign_header():
+    with pytest.raises(TelemetryError, match="not a telemetry file"):
+        load_jsonl(['{"kind":"trace-header","schema":1}'])
+
+
+def test_load_rejects_header_junk():
+    with pytest.raises(TelemetryError, match="not JSON"):
+        load_jsonl(["nonsense"])
+
+
+def test_load_rejects_schema_mismatch():
+    lines = _lines()
+    head = json.loads(lines[0])
+    head["schema"] = TELEMETRY_SCHEMA_VERSION + 1
+    lines[0] = json.dumps(head)
+    with pytest.raises(TelemetryError, match="unsupported telemetry schema"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_extra_header_field():
+    lines = _lines()
+    head = json.loads(lines[0])
+    head["extra"] = 1
+    lines[0] = json.dumps(head)
+    with pytest.raises(TelemetryError, match="header field mismatch"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_unknown_kind():
+    lines = _lines() + ['{"kind":"summary","name":"x","labels":{}}']
+    with pytest.raises(TelemetryError, match="unknown instrument kind"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_missing_field():
+    lines = _lines()
+    i, item = _counter_line(lines)
+    del item["value"]
+    lines[i] = json.dumps(item)
+    with pytest.raises(TelemetryError, match="field mismatch"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_extra_field():
+    lines = _lines()
+    i, item = _counter_line(lines)
+    item["surprise"] = True
+    lines[i] = json.dumps(item)
+    with pytest.raises(TelemetryError, match="field mismatch"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_wrong_value_type():
+    lines = _lines()
+    i, item = _counter_line(lines)
+    item["value"] = "12"
+    lines[i] = json.dumps(item)
+    with pytest.raises(TelemetryError, match="must be a number"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_bool_masquerading_as_number():
+    lines = _lines()
+    i, item = _counter_line(lines)
+    item["value"] = True
+    lines[i] = json.dumps(item)
+    with pytest.raises(TelemetryError, match="must be a number"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_histogram_count_mismatch():
+    lines = _lines()
+    for i, line in enumerate(lines):
+        item = json.loads(line)
+        if item.get("kind") == "histogram":
+            item["count"] += 1
+            lines[i] = json.dumps(item)
+            break
+    with pytest.raises(TelemetryError, match="counts sum"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_wrong_bucket_count():
+    lines = _lines()
+    for i, line in enumerate(lines):
+        item = json.loads(line)
+        if item.get("kind") == "histogram":
+            item["counts"] = item["counts"][:-1]
+            lines[i] = json.dumps(item)
+            break
+    with pytest.raises(TelemetryError, match="non-negative ints"):
+        load_jsonl(lines)
+
+
+def test_load_rejects_non_string_labels():
+    lines = _lines()
+    i, item = _counter_line(lines)
+    item["labels"] = {"link": 4}
+    lines[i] = json.dumps(item)
+    with pytest.raises(TelemetryError, match="labels"):
+        load_jsonl(lines)
+
+
+# -- Prometheus ----------------------------------------------------------------
+
+
+def test_prometheus_exposition_shape():
+    text = dumps_prometheus(_sample_registry())
+    lines = text.splitlines()
+    assert "# TYPE taps_controller_tasks_accepted_total counter" in lines
+    assert "taps_controller_tasks_accepted_total 12" in lines
+    assert ('taps_net_link_peak_utilization'
+            '{dst="b",link="4",src="a"} 0.75') in lines
+    assert "# TYPE taps_controller_admission_latency_seconds histogram" in lines
+    # cumulative buckets end with +Inf == _count
+    bucket_lines = [l for l in lines if "_bucket{" in l
+                    and "admission_latency" in l]
+    assert bucket_lines, "no bucket series"
+    assert bucket_lines[-1].startswith(
+        'taps_controller_admission_latency_seconds_bucket{le="+Inf"} ')
+    assert bucket_lines[-1].endswith(" 4")
+    cums = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+    assert cums == sorted(cums), "bucket counts must be cumulative"
+    assert "taps_controller_admission_latency_seconds_count 4" in lines
+
+
+def test_prometheus_label_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c", {"q": 'say "hi"\n'}).inc(1)
+    text = dumps_prometheus(reg)
+    assert r'taps_c_total{q="say \"hi\"\n"} 1' in text
