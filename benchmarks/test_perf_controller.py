@@ -188,6 +188,14 @@ def test_perf_controller(results_dir):
     suffix = "" if scale_name == "full" else f"_{scale_name}"
     out = results_dir / f"perf_controller{suffix}.json"
     out.write_text(json.dumps(record, indent=1))
+    if os.environ.get("REPRO_PERF_HISTORY"):
+        # opt-in: append to the cross-run store that `repro-taps diff`
+        # reads, so regressions can be tracked across commits
+        from repro.obs.diffing import append_history
+
+        hist = append_history(record, results_dir / "history",
+                              name=f"perf_controller{suffix}")
+        print(f"\nhistory record -> {hist}")
     print(f"\nperf record -> {out}\n"
           f"controller {speedup_controller:.2f}x  wall {speedup_wall:.2f}x  "
           f"path_calculation {speedup_pc:.2f}x  "

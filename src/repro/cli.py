@@ -13,7 +13,11 @@ Subcommands::
     repro-taps run --trace out.jsonl # one traced TAPS run (fat-tree)
     repro-taps run --out-dir run1/   # run + telemetry artifacts in run1/
     repro-taps stats run1/           # inspect a run from its artifacts
+    repro-taps stats run1/ --json    # same, machine-readable
     repro-taps audit out.jsonl       # replay a trace against invariants
+    repro-taps timeline run1/        # export Perfetto-viewable chrome trace
+    repro-taps explain run1/ --task 17   # why was task 17 refused?
+    repro-taps diff run1/ run2/      # regression diff of two bundles
 
 ``figure``, ``all``, ``zoo``, and ``report`` accept ``--jobs N`` (fan
 independent sweep points over N worker processes; 0 = one per CPU),
@@ -266,9 +270,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    import json
     from pathlib import Path
 
-    from repro.obs import TelemetryError, load_jsonl, render_stats
+    from repro.obs import TelemetryError, load_jsonl, render_stats, stats_json
 
     target = Path(args.run_dir)
     path = target / "telemetry.jsonl" if target.is_dir() else target
@@ -282,8 +287,119 @@ def _cmd_stats(args) -> int:
     except TelemetryError as exc:
         print(f"error: {path}: {exc}", file=sys.stderr)
         return 1
-    print(render_stats(snapshot), end="")
+    if args.json:
+        print(json.dumps(stats_json(snapshot), indent=1, sort_keys=True))
+    else:
+        print(render_stats(snapshot), end="")
     return 0
+
+
+def _load_trace_or_fail(run_dir: str):
+    """The (trace, telemetry) pair for a run dir, or (None, None) after
+    printing the error — shared by ``timeline`` and ``explain``."""
+    from repro.exp.runner import load_run_artifacts
+
+    try:
+        trace, telemetry = load_run_artifacts(run_dir)
+    except ValueError as exc:
+        print(f"error: {run_dir}: {exc}", file=sys.stderr)
+        return None, None
+    if trace is None:
+        print(f"error: no trace.jsonl under {run_dir} "
+              "(produce one with: repro-taps run --out-dir DIR)",
+              file=sys.stderr)
+        return None, None
+    return trace, telemetry
+
+
+def _cmd_timeline(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import timeline_from, write_chrome_trace
+
+    trace, telemetry = _load_trace_or_fail(args.run_dir)
+    if trace is None:
+        return 1
+    tl = timeline_from(trace)
+    target = Path(args.run_dir)
+    default_dir = target if target.is_dir() else target.parent
+    out_path = args.out if args.out is not None else (
+        default_dir / "trace.chrome.json"
+    )
+    out = write_chrome_trace(out_path, tl, telemetry)
+    outcomes = tl.outcomes()
+    summary = ", ".join(f"{len(v)} {k}" for k, v in sorted(outcomes.items()))
+    print(f"{tl.events} events -> {len(tl.tasks)} tasks ({summary}), "
+          f"{len(tl.flows)} flows, {len(tl.links)} links, "
+          f"end t={tl.end_time:.4f}")
+    print(f"wrote {out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.obs import explain_run, explain_task, timeline_from
+    from repro.trace import audit_events
+
+    trace, _telemetry = _load_trace_or_fail(args.run_dir)
+    if trace is None:
+        return 1
+    tl = timeline_from(trace)
+    if args.task is not None:
+        if args.task not in tl.tasks:
+            print(f"error: task {args.task} does not appear in the trace "
+                  f"(tasks: {min(tl.tasks, default='-')}"
+                  f"..{max(tl.tasks, default='-')})", file=sys.stderr)
+            return 1
+        verdicts = [explain_task(tl, args.task)]
+    else:
+        verdicts = explain_run(tl)
+    if args.json:
+        print(json.dumps([v.to_json() for v in verdicts], indent=1))
+    else:
+        if not verdicts:
+            print("every task completed; nothing to explain")
+        for v in verdicts:
+            for line in v.lines():
+                print(line)
+        # cross-check the clause evidence against the trace auditor
+        report = audit_events(trace.events, trace.meta, trace.truncated)
+        reject_violations = [
+            v for v in report.violations if v.invariant == "reject-rule"
+        ]
+        inconsistent = [v for v in verdicts if not v.clause_consistent]
+        if not reject_violations and not inconsistent:
+            print("auditor cross-check: clause evidence consistent "
+                  "(0 reject-rule violations)")
+        else:
+            print(f"auditor cross-check: {len(reject_violations)} "
+                  f"reject-rule violation(s), {len(inconsistent)} "
+                  f"inconsistent verdict(s)")
+    return 0 if all(v.clause_consistent for v in verdicts) else 1
+
+
+def _cmd_diff(args) -> int:
+    import json
+
+    from repro.obs import DiffError, diff_paths
+
+    try:
+        report = diff_paths(
+            args.run_a, args.run_b,
+            timing_threshold=args.timing_threshold,
+            strict_timing=args.strict_timing,
+        )
+    except DiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        for line in report.lines():
+            print(line)
+    return report.exit_code
 
 
 def _cmd_audit(args) -> int:
@@ -392,7 +508,50 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("run_dir", metavar="RUN_DIR",
                         help="run directory holding telemetry.jsonl "
                              "(or a path to the file itself)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the report as machine-readable JSON")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="export a run's timelines as Chrome trace-event JSON "
+             "(Perfetto-viewable)")
+    p_tl.add_argument("run_dir", metavar="RUN_DIR",
+                      help="run directory holding trace.jsonl "
+                           "(or a path to the trace file itself)")
+    p_tl.add_argument("--out", default=None, metavar="FILE",
+                      help="output path (default: RUN_DIR/trace.chrome.json)")
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    p_exp = sub.add_parser(
+        "explain",
+        help="why was a task rejected/preempted/dropped? (from the trace)")
+    p_exp.add_argument("run_dir", metavar="RUN_DIR",
+                       help="run directory holding trace.jsonl "
+                            "(or a path to the trace file itself)")
+    p_exp.add_argument("--task", type=int, default=None, metavar="T",
+                       help="explain one task id (default: every "
+                            "non-completed task)")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit the verdicts as machine-readable JSON")
+    p_exp.set_defaults(func=_cmd_explain)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="regression-diff two artifact bundles (run dirs, traces, "
+             "telemetry, perf JSONs, history stores)")
+    p_diff.add_argument("run_a", metavar="RUN_A")
+    p_diff.add_argument("run_b", metavar="RUN_B")
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit the report as machine-readable JSON")
+    p_diff.add_argument("--timing-threshold", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="relative threshold for timing comparisons "
+                             "(default 0.10)")
+    p_diff.add_argument("--strict-timing", action="store_true",
+                        help="timing drift beyond the threshold blocks "
+                             "(regression, exit 1) instead of warning")
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_aud = sub.add_parser("audit",
                            help="replay a JSONL trace against the paper's "

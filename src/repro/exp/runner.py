@@ -188,3 +188,29 @@ def write_run_artifacts(
             telemetry, out / "telemetry.prom"
         )
     return written
+
+
+def load_run_artifacts(run_dir: str | Path):
+    """Read a ``run --out-dir`` bundle back: ``(trace, telemetry)``.
+
+    Either element is ``None`` when its artifact is absent.  ``run_dir``
+    may also point directly at a ``trace.jsonl`` file (the ``--trace``
+    output), in which case only the trace side is populated.  This is
+    the loader behind ``repro-taps timeline`` / ``explain``.
+    """
+    from repro.obs.export import load_jsonl as load_telemetry
+    from repro.trace.recorder import load_jsonl as load_trace
+
+    target = Path(run_dir)
+    if target.is_dir():
+        trace_path = target / "trace.jsonl"
+        telem_path = target / "telemetry.jsonl"
+    else:
+        trace_path, telem_path = target, None
+    trace = load_trace(trace_path) if trace_path.exists() else None
+    telemetry = (
+        load_telemetry(telem_path)
+        if telem_path is not None and telem_path.exists()
+        else None
+    )
+    return trace, telemetry

@@ -204,10 +204,43 @@ def load_jsonl(source: str | Path | Iterable[str]) -> TelemetrySnapshot:
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
 _PROM_PREFIX = "taps_"
 
+#: help text for the instrument names published in DESIGN.md §7; names
+#: not listed fall back to a pointer at the contract table
+_HELP_TEXT = {
+    "controller/admission_latency_seconds":
+        "Wall time of one admission decision (Alg. 1 pipeline).",
+    "controller/tasks_accepted": "Tasks admitted by the controller.",
+    "controller/tasks_rejected": "Tasks refused by the reject rule.",
+    "controller/tasks_preempted":
+        "Victim tasks discarded by admissions (discard-victim).",
+    "controller/reallocations": "Global re-plan rounds executed.",
+    "alloc/trials_rolled_back":
+        "Trial allocations rolled back for a discard-victim retry.",
+    "alloc/union_cache_hits": "Occupancy union cache hits.",
+    "alloc/union_cache_misses": "Occupancy union cache misses.",
+    "alloc/candidates_evaluated": "Candidate path slots evaluated.",
+    "alloc/candidates_pruned": "Candidate path slots pruned unevaluated.",
+    "net/link_utilization":
+        "Per-link utilization over the run (busy time / makespan).",
+    "net/link_peak_utilization":
+        "Per-link peak instantaneous utilization.",
+}
+
 
 def prom_name(name: str) -> str:
     """``controller/admission_latency_seconds`` → ``taps_controller_…``."""
     return _PROM_PREFIX + _NAME_SANITIZE.sub("_", name)
+
+
+def _help_line(series: str, name: str, suffix_note: str = "") -> str:
+    """A ``# HELP`` line per the exposition format: the text has ``\\``
+    escaped as ``\\\\`` and newlines as ``\\n`` (quotes stay verbatim)."""
+    text = _HELP_TEXT.get(
+        name,
+        f"Instrument {name} (see DESIGN.md section 7)."
+    ) + suffix_note
+    text = text.replace("\\", r"\\").replace("\n", r"\n")
+    return f"# HELP {series} {text}"
 
 
 def _prom_labels(labels: dict[str, str], extra: str = "") -> str:
@@ -240,19 +273,24 @@ def dumps_prometheus(registry: MetricsRegistry) -> str:
         kind = series[0]["kind"]
         base = prom_name(name)
         if kind == "counter":
+            out.append(_help_line(f"{base}_total", name))
             out.append(f"# TYPE {base}_total counter")
             for s in series:
                 out.append(f"{base}_total{_prom_labels(s['labels'])} "
                            f"{_fmt(s['value'])}")
         elif kind == "gauge":
+            out.append(_help_line(base, name))
             out.append(f"# TYPE {base} gauge")
             for s in series:
                 out.append(f"{base}{_prom_labels(s['labels'])} {_fmt(s['value'])}")
+            out.append(_help_line(f"{base}_max", name,
+                                  " (peak observed value)"))
             out.append(f"# TYPE {base}_max gauge")
             for s in series:
                 out.append(f"{base}_max{_prom_labels(s['labels'])} "
                            f"{_fmt(s['max'])}")
         else:  # histogram
+            out.append(_help_line(base, name))
             out.append(f"# TYPE {base} histogram")
             for s in series:
                 edges = [s["lo"] * s["growth"] ** i

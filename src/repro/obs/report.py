@@ -158,6 +158,64 @@ def _span_tree(reg: MetricsRegistry) -> list[str]:
     return out
 
 
+def stats_json(snap: TelemetrySnapshot) -> dict:
+    """The ``repro-taps stats --json`` payload: the same sections as
+    :func:`render_stats`, as a machine-readable dict (CI and scripts
+    consume this instead of scraping the text report)."""
+    reg = snap.to_registry()
+    out: dict = {"schema": snap.schema, "meta": dict(snap.meta)}
+    hist = reg.get("controller/admission_latency_seconds")
+    if isinstance(hist, Histogram) and hist.count:
+        pcts = hist.percentiles(0.50, 0.90, 0.99)
+        out["admission_latency"] = {
+            "count": hist.count, "mean": hist.mean, "sum": hist.sum,
+            "max": hist.max, **pcts,
+        }
+    decisions = {}
+    for key, name in (
+        ("accepted", "controller/tasks_accepted"),
+        ("rejected", "controller/tasks_rejected"),
+        ("preempted", "controller/tasks_preempted"),
+        ("reallocations", "controller/reallocations"),
+        ("trials_rolled_back", "alloc/trials_rolled_back"),
+    ):
+        value = _counter_value(snap, name)
+        if value is not None:
+            decisions[key] = value
+    if decisions:
+        out["decisions"] = decisions
+    caches = {}
+    for key, hit_name, miss_name in (
+        ("union_cache", "alloc/union_cache_hits", "alloc/union_cache_misses"),
+        ("result_cache", "executor/cache_hits", "executor/cache_misses"),
+    ):
+        hits = _counter_value(snap, hit_name)
+        misses = _counter_value(snap, miss_name)
+        if hits is None and misses is None:
+            continue
+        caches[key] = {"hits": hits or 0, "misses": misses or 0}
+    if caches:
+        out["caches"] = caches
+    peaks = reg.find("net/link_peak_utilization")
+    if peaks:
+        out["links"] = [
+            {"labels": dict(g.labels), "peak": g.max}
+            for g in sorted(peaks,
+                            key=lambda g: (-g.max, sorted(dict(g.labels))))
+        ]
+    spans = [
+        h for h in reg.instruments()
+        if isinstance(h, Histogram) and h.name.startswith(SPAN_PREFIX)
+    ]
+    if spans:
+        out["spans"] = [
+            {"path": h.name[len(SPAN_PREFIX):], "calls": h.count,
+             "total_seconds": h.sum, "mean_seconds": h.mean}
+            for h in sorted(spans, key=lambda h: h.name)
+        ]
+    return out
+
+
 def render_stats(snap: TelemetrySnapshot) -> str:
     """The full ``repro-taps stats`` report for one telemetry snapshot."""
     reg = snap.to_registry()

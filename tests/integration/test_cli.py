@@ -123,6 +123,111 @@ def test_stats_rejects_corrupt_telemetry(tmp_path, capsys):
     assert "no telemetry" in capsys.readouterr().err
 
 
+@pytest.fixture(scope="module")
+def cli_run_dir(tmp_path_factory):
+    """One ``run --out-dir`` bundle shared by the diagnosis-layer tests.
+
+    24 tasks at seed 7 is the CI smoke workload: it is known to produce
+    both accepted and rejected tasks, so ``explain`` has work to do.
+    """
+    run_dir = tmp_path_factory.mktemp("cli") / "run"
+    assert main(["run", "--tasks", "24", "--seed", "7",
+                 "--out-dir", str(run_dir)]) == 0
+    return run_dir
+
+
+def test_stats_json_flag(cli_run_dir, capsys):
+    import json
+
+    capsys.readouterr()
+    assert main(["stats", str(cli_run_dir), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["decisions"]["accepted"] + doc["decisions"]["rejected"] == 24
+    assert doc["admission_latency"]["count"] > 0
+    assert doc["links"] and all("peak" in row for row in doc["links"])
+
+
+def test_timeline_subcommand(cli_run_dir, capsys):
+    import json
+
+    capsys.readouterr()
+    assert main(["timeline", str(cli_run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+    chrome = cli_run_dir / "trace.chrome.json"
+    assert chrome.exists()
+    events = json.loads(chrome.read_text())
+    assert isinstance(events, list) and events
+    assert all(k in ev for ev in events for k in ("ph", "ts", "pid", "tid"))
+
+
+def test_explain_subcommand(cli_run_dir, capsys):
+    capsys.readouterr()
+    assert main(["explain", str(cli_run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "REJECTED" in out
+    assert "clause" in out
+    assert ("auditor cross-check: clause evidence consistent "
+            "(0 reject-rule violations)") in out
+
+
+def test_explain_single_task_json(cli_run_dir, capsys):
+    import json
+
+    capsys.readouterr()
+    assert main(["explain", str(cli_run_dir), "--json"]) == 0
+    verdicts = json.loads(capsys.readouterr().out)
+    assert verdicts, "seed 7 must leave tasks to explain"
+    rejected = next(v for v in verdicts if v["outcome"] == "rejected")
+    assert rejected["clause_consistent"] is True
+    # single-task mode returns exactly that verdict
+    assert main(["explain", str(cli_run_dir),
+                 "--task", str(rejected["task"]), "--json"]) == 0
+    solo = json.loads(capsys.readouterr().out)
+    assert len(solo) == 1 and solo[0]["task"] == rejected["task"]
+    # unknown task id is a clean CLI error
+    assert main(["explain", str(cli_run_dir), "--task", "10000"]) == 1
+    assert "does not appear" in capsys.readouterr().err
+
+
+def test_diff_identical_runs_clean(cli_run_dir, tmp_path, capsys):
+    """Diffing a bundle against a byte-identical copy of itself: exit 0,
+    zero findings, traces flagged byte-identical."""
+    import json
+    import shutil
+
+    clone = tmp_path / "clone"
+    shutil.copytree(cli_run_dir, clone)
+    capsys.readouterr()
+    assert main(["diff", str(cli_run_dir), str(clone), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["traces_identical"] is True
+    assert doc["regressions"] == 0 and doc["warnings"] == 0
+    assert doc["deltas"] == []
+    assert doc["metrics_compared"] > 0
+
+
+def test_diff_flags_count_regression(cli_run_dir, tmp_path, capsys):
+    run_b = tmp_path / "worse"
+    assert main(["run", "--tasks", "24", "--seed", "3",
+                 "--fault", "0", "0.01", "0.05",
+                 "--out-dir", str(run_b)]) == 0
+    capsys.readouterr()
+    # seed 3 + fault rejects more tasks than seed 7: blocking regression
+    assert main(["diff", str(cli_run_dir), str(run_b)]) == 1
+    out = capsys.readouterr().out
+    assert "traces differ" in out
+    assert "[regression " in out
+    assert "regression(s)" in out
+
+
+def test_diff_unloadable_operand_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nowhere"
+    assert main(["diff", str(missing), str(missing)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_audit_fails_on_corrupted_trace(tmp_path, capsys):
     """Flip one committed plan so its slices overlap another flow's: the
     CLI must exit non-zero and name the violated invariant."""

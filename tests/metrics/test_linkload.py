@@ -79,3 +79,84 @@ def test_bad_horizon():
     load = LinkLoadCollector(dumbbell(1))
     with pytest.raises(ValueError):
         load.utilization(horizon=0.0)
+
+
+# -- peak utilization under link-outage fault windows -------------------------
+#
+# The engine zeroes rates on down links *before* hooks see the advance,
+# so peaks must reflect what the network physically carried — never the
+# controller's pre-outage allocations.
+
+
+def _middle_link(topo):
+    return next(
+        i for i, ln in enumerate(topo.links)
+        if (ln.src, ln.dst) == ("SL", "SR")
+    )
+
+
+def _run_faulted(topo, tasks, faults, horizon=None):
+    load = LinkLoadCollector(topo)
+    result = Engine(
+        topo, tasks, TapsScheduler(), hooks=(load,),
+        faults=faults, horizon=horizon,
+    ).run()
+    load.finalize(result.flow_states)
+    return load, result
+
+
+def test_peak_zero_while_path_is_down():
+    """An outage covering the whole (horizon-cut) run leaves no peaks:
+    the allocation existed, but the link never physically carried it."""
+    from repro.sim.faults import LinkFault
+
+    topo = dumbbell(1)
+    mid = _middle_link(topo)
+    tasks = [make_task(0, 0.0, 10.0, [("L0", "R0", 2.0)], 0)]
+    # control: same horizon, no fault — the link is busy immediately
+    control, _ = _run_faulted(topo, tasks, faults=None, horizon=1.0)
+    assert control.peak_utilization().get(mid, 0.0) > 0.0
+    # outage spans past the horizon: nothing may register a peak
+    load, _ = _run_faulted(
+        topo, tasks, faults=[LinkFault(mid, 0.0, 5.0)], horizon=1.0
+    )
+    assert load.peak_utilization() == {}
+
+
+def test_peak_reflects_only_post_recovery_transmission():
+    """With an outage window early in the run, the recorded peaks come
+    from the post-recovery retransmission, not the voided allocation."""
+    from repro.sim.faults import LinkFault
+
+    topo = dumbbell(1)
+    mid = _middle_link(topo)
+    tasks = [make_task(0, 0.0, 10.0, [("L0", "R0", 2.0)], 0)]
+    load, result = _run_faulted(
+        topo, tasks, faults=[LinkFault(mid, 0.0, 0.5)]
+    )
+    peaks = load.peak_utilization()
+    # the flow finished after the link came back, at full exclusive rate
+    assert result.finished_at > 0.5
+    assert peaks[mid] == pytest.approx(1.0, rel=1e-6)
+    # and per-flow byte accounting matches the delivered size, no
+    # phantom bytes charged during the outage
+    rows = {r.link_index: r for r in load.utilization(result.finished_at)}
+    assert rows[mid].bytes_total == pytest.approx(2.0, rel=1e-4)
+
+
+def test_peak_mid_run_outage_window_not_charged():
+    """Two tasks queued behind a downed shared link register no peaks at
+    all while it is out — allocations alone never count as carriage."""
+    from repro.sim.faults import LinkFault
+
+    topo = dumbbell(2)
+    mid = _middle_link(topo)
+    # both pairs share the middle link, so the outage idles everything
+    tasks = [
+        make_task(0, 0.0, 50.0, [("L0", "R0", 2.0)], 0),
+        make_task(1, 0.0, 50.0, [("L1", "R1", 2.0)], 1),
+    ]
+    load, _ = _run_faulted(
+        topo, tasks, faults=[LinkFault(mid, 0.0, 1.0)], horizon=1.0
+    )
+    assert load.peak_utilization() == {}

@@ -1,0 +1,31 @@
+"""Shared traced runs for the diagnosis-layer tests.
+
+Session-scoped: the fat-tree runs cost ~a second each, and every module
+here (timeline, chrometrace, explain, diffing) reads the same streams.
+"""
+
+import pytest
+
+from repro.exp.runner import run_traced
+from repro.obs.registry import MetricsRegistry
+from repro.sim.faults import LinkFault
+
+
+@pytest.fixture(scope="session")
+def traced_run():
+    """A fig6-scale traced fat-tree run (the CI smoke workload): 24
+    tasks, seed 7 — known to produce accepted and rejected tasks."""
+    registry = MetricsRegistry()
+    result, recorder = run_traced(num_tasks=24, seed=7, telemetry=registry)
+    return result, recorder, registry
+
+
+@pytest.fixture(scope="session")
+def faulted_run():
+    """The same scale with a link outage injected over [0.01, 0.05)."""
+    registry = MetricsRegistry()
+    result, recorder = run_traced(
+        num_tasks=24, seed=3,
+        faults=[LinkFault(0, 0.01, 0.05)], telemetry=registry,
+    )
+    return result, recorder, registry
